@@ -1,0 +1,24 @@
+"""FIG5 — energy of EAS-base / EAS / EDF on category-I random graphs.
+
+Paper: Fig. 5; 10 TGFF graphs (~500 tasks) on a 4x4 heterogeneous mesh;
+EDF consumes on average 55% more energy than EAS; one benchmark needs
+search-and-repair.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evalx.experiments import average_extra_energy_pct, run_fig5
+from repro.evalx.reporting import format_table
+
+
+def test_fig5_category1(benchmark, show):
+    rows = run_once(benchmark, lambda: run_fig5())
+    show(format_table(rows, "FIG5: category I random benchmarks (4x4 mesh)"))
+    extra = average_extra_energy_pct(rows, "edf", "eas")
+    show(f"EDF consumes on average {extra:.1f}% more energy than EAS (paper: +55%)")
+
+    assert len(rows) == 10
+    # The headline relationship: EDF clearly worse on energy.
+    assert extra > 10.0
+    # EAS (with repair) never misses more than EAS-base.
+    for row in rows:
+        assert row.misses["eas"] <= row.misses["eas-base"]

@@ -1,0 +1,37 @@
+"""FIG6 — energy of EAS-base / EAS / EDF on category-II random graphs.
+
+Paper: Fig. 6; same setup as Fig. 5 with tighter deadlines; EDF consumes
+on average 39% more energy, and three benchmarks need search-and-repair.
+The gap must be smaller than category I's: tight deadlines leave EAS
+less room to trade time for energy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evalx.experiments import average_extra_energy_pct, run_fig5, run_fig6
+from repro.evalx.reporting import format_table
+
+
+def test_fig6_category2(benchmark, show):
+    rows = run_once(benchmark, lambda: run_fig6())
+    show(format_table(rows, "FIG6: category II random benchmarks (4x4 mesh)"))
+    extra = average_extra_energy_pct(rows, "edf", "eas")
+    show(f"EDF consumes on average {extra:.1f}% more energy than EAS (paper: +39%)")
+
+    assert len(rows) == 10
+    assert extra > 5.0
+    for row in rows:
+        assert row.misses["eas"] <= row.misses["eas-base"]
+
+
+def test_fig6_gap_smaller_than_fig5(benchmark, show):
+    """Cross-figure relationship the paper reports (55% vs 39%)."""
+
+    def both():
+        subset = dict(n_benchmarks=4)
+        return run_fig5(**subset), run_fig6(**subset)
+
+    cat1, cat2 = run_once(benchmark, both)
+    gap1 = average_extra_energy_pct(cat1, "edf", "eas")
+    gap2 = average_extra_energy_pct(cat2, "edf", "eas")
+    show(f"category I gap: +{gap1:.1f}%   category II gap: +{gap2:.1f}%")
+    assert gap2 < gap1

@@ -1,0 +1,31 @@
+"""FIG7 — energy vs unified performance ratio on the integrated MSB.
+
+Paper: Fig. 7; starting at 40 fps encode / 67 fps decode, both rates are
+scaled by a unified ratio (1.0 .. 1.6).  EAS energy rises as deadlines
+tighten (less mapping flexibility) while EDF stays roughly flat.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.evalx.experiments import run_fig7
+from repro.evalx.reporting import format_figure
+
+RATIOS = (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6)
+
+
+def test_fig7_tradeoff(benchmark, show):
+    figure = run_once(benchmark, lambda: run_fig7(ratios=RATIOS))
+    show(format_figure(figure, "FIG7: energy vs unified performance ratio (foreman)"))
+
+    eas = figure.series["eas"]
+    edf = figure.series["edf"]
+    finite_eas = [v for v in eas if not math.isnan(v)]
+    assert len(finite_eas) >= 3, "EAS must stay feasible over part of the sweep"
+    # EAS pays for performance: last feasible point above the baseline.
+    assert finite_eas[-1] >= finite_eas[0]
+    # EAS stays below EDF across the feasible range (it degrades toward
+    # EDF but should not exceed it on this platform).
+    for eas_v, edf_v in zip(eas, edf):
+        if not math.isnan(eas_v) and not math.isnan(edf_v):
+            assert eas_v <= edf_v * 1.02

@@ -1,0 +1,75 @@
+"""ABL-OPT — EAS optimality gap on exactly-solvable instances (ours).
+
+The paper proves nothing about solution quality (the problem is NP-hard
+[16]); this bench measures it empirically where the exact optimum is
+computable: small random CTGs on the 2x2 heterogeneous platform, exact
+minimum-energy deadline-feasible mapping by branch-and-bound.  Reported
+per instance: EAS/optimal and EDF/optimal energy ratios.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.arch.presets import mesh_2x2
+from repro.baselines.edf import edf_schedule
+from repro.baselines.optimal import optimal_schedule
+from repro.core.eas import eas_schedule
+from repro.ctg.generator import GeneratorConfig, generate_ctg
+
+N_INSTANCES = 8
+N_TASKS = 7
+
+
+def run_gap_study():
+    rows = []
+    for seed in range(N_INSTANCES):
+        ctg = generate_ctg(
+            GeneratorConfig(
+                n_tasks=N_TASKS, seed=seed, deadline_laxity=1.9, level_width=3.0
+            )
+        )
+        acg = mesh_2x2()
+        exact = optimal_schedule(ctg, acg)
+        if not exact.feasible:
+            continue
+        eas = eas_schedule(ctg, acg)
+        edf = edf_schedule(ctg, acg)
+        rows.append(
+            {
+                "benchmark": ctg.name,
+                "optimal": exact.energy,
+                "eas": eas.total_energy(),
+                "edf": edf.total_energy(),
+                "eas_feasible": eas.meets_deadlines,
+                "timed": exact.mappings_timed,
+            }
+        )
+    return rows
+
+
+def test_optimality_gap(benchmark, show):
+    rows = run_once(benchmark, run_gap_study)
+    if not rows:
+        pytest.skip("no feasible exact instances")
+    lines = ["EAS/EDF vs exact optimum (7-task graphs, 2x2 mesh):"]
+    for row in rows:
+        lines.append(
+            f"  {row['benchmark']:>8}: optimal {row['optimal']:8.4g}  "
+            f"EAS x{row['eas'] / row['optimal']:.3f}  "
+            f"EDF x{row['edf'] / row['optimal']:.3f}  "
+            f"(mappings timed: {row['timed']})"
+        )
+    eas_gaps = [r["eas"] / r["optimal"] for r in rows if r["eas_feasible"]]
+    edf_gaps = [r["edf"] / r["optimal"] for r in rows]
+    lines.append(
+        f"  mean gap: EAS x{sum(eas_gaps) / len(eas_gaps):.3f}, "
+        f"EDF x{sum(edf_gaps) / len(edf_gaps):.3f}"
+    )
+    show("\n".join(lines))
+
+    # Sanity: nobody beats the optimum; EAS lands much closer than EDF.
+    for row in rows:
+        if row["eas_feasible"]:
+            assert row["eas"] >= row["optimal"] - 1e-6
+        assert row["edf"] >= row["optimal"] - 1e-6
+    assert sum(eas_gaps) / len(eas_gaps) < sum(edf_gaps) / len(edf_gaps)

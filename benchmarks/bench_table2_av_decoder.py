@@ -1,0 +1,24 @@
+"""TAB2 — A/V decoder (MP3 + H.263, 16 tasks) on a 2x2 mesh.
+
+Paper: Table 2; EAS vs EDF energy per clip at the ~67 frames/s baseline
+decoding rate; significant savings, all deadlines met.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evalx.experiments import run_msb_table
+from repro.evalx.reporting import format_table
+
+
+def test_table2_av_decoder(benchmark, show):
+    rows = run_once(benchmark, lambda: run_msb_table("decoder"))
+    show(
+        format_table(
+            rows,
+            "TABLE2: A/V decoder, EAS vs EDF per clip",
+            extra_columns=("eas:comp", "eas:comm"),
+        )
+    )
+    assert [row.benchmark for row in rows] == ["akiyo", "foreman", "toybox"]
+    for row in rows:
+        assert row.savings_pct("eas", "edf") > 25.0
+        assert row.misses["eas"] == 0

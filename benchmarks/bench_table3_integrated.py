@@ -1,0 +1,42 @@
+"""TAB3 + TXT-HOPS — integrated A/V encoder+decoder (40 tasks) on 3x3.
+
+Paper: Table 3 (EAS vs EDF energy per clip) plus the Sec. 6.2 text
+statistics for *foreman*: savings come from reducing both computation
+and communication energy, the latter via fewer average hops per packet
+(paper: 2.55 -> 1.68).
+"""
+
+from benchmarks.conftest import run_once
+from repro.evalx.experiments import run_msb_table
+from repro.evalx.reporting import format_table
+
+
+def test_table3_integrated(benchmark, show):
+    rows = run_once(benchmark, lambda: run_msb_table("integrated"))
+    show(
+        format_table(
+            rows,
+            "TABLE3: integrated A/V system, EAS vs EDF per clip",
+            extra_columns=("eas:comp", "eas:comm", "edf:comp", "edf:comm"),
+        )
+    )
+    assert [row.benchmark for row in rows] == ["akiyo", "foreman", "toybox"]
+    for row in rows:
+        assert row.savings_pct("eas", "edf") > 25.0
+        assert row.misses["eas"] == 0
+
+
+def test_text_hops_statistic_foreman(benchmark, show):
+    """Sec. 6.2: EAS reduces computation energy, communication energy,
+    and the average hops per packet on the foreman clip."""
+    rows = run_once(benchmark, lambda: run_msb_table("integrated", clips=["foreman"]))
+    row = rows[0]
+    show(
+        "foreman energy split — "
+        f"EAS comp {row.extras['eas:comp']:.4g} / comm {row.extras['eas:comm']:.4g} nJ, "
+        f"EDF comp {row.extras['edf:comp']:.4g} / comm {row.extras['edf:comm']:.4g} nJ; "
+        f"avg hops/packet EAS {row.extras['eas:hops']:.2f} vs EDF {row.extras['edf:hops']:.2f} "
+        "(paper: 2.55 -> 1.68)"
+    )
+    assert row.extras["eas:comp"] < row.extras["edf:comp"]
+    assert row.extras["eas:hops"] < row.extras["edf:hops"]

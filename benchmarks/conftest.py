@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+experiment exactly once under ``pytest-benchmark`` (the timing is the
+scheduler runtime the paper discusses) and prints the paper-style rows
+so `pytest benchmarks/ --benchmark-only -s` reproduces the evaluation
+section end to end.
+
+Scale: benchmarks default to 150-task random graphs (the paper uses
+~500).  Set ``REPRO_FULL=1`` to run at full paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def show():
+    """Print through pytest's capture so -s (or failure) reveals tables."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a small application on a heterogeneous NoC.
+
+Builds a five-task video-filter pipeline by hand, schedules it with both
+the paper's EAS algorithm and the EDF baseline on a 2x2 heterogeneous
+mesh, and prints the energy comparison plus an ASCII Gantt chart.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CTG,
+    CommEdge,
+    Task,
+    TaskCosts,
+    eas_schedule,
+    edf_schedule,
+    mesh_2x2,
+    render_gantt,
+)
+
+
+def build_pipeline() -> CTG:
+    """capture -> filter -> (edge-detect | blur) -> merge, 25 ms deadline."""
+    ctg = CTG(name="video-filter")
+
+    def costs(base_time, power):
+        # Per-PE-type (time, energy) — the 'cpu' tile is fast but hungry,
+        # the 'arm' tile slow but frugal (see repro.arch.pe for factors).
+        return {
+            "cpu": TaskCosts(base_time * 0.45, base_time * power * 2.6),
+            "dsp": TaskCosts(base_time * 0.7, base_time * power * 1.3),
+            "arm": TaskCosts(base_time * 1.4, base_time * power * 0.5),
+            "risc": TaskCosts(base_time * 1.0, base_time * power * 1.0),
+        }
+
+    ctg.add_task(Task("capture", costs=costs(2000, 0.9)))
+    ctg.add_task(Task("filter", costs=costs(3000, 1.2)))
+    ctg.add_task(Task("edges", costs=costs(2500, 1.3)))
+    ctg.add_task(Task("blur", costs=costs(1800, 1.1)))
+    ctg.add_task(Task("merge", costs=costs(1200, 0.8), deadline=25_000.0))
+
+    frame = 304_128.0  # QCIF 4:2:0 frame in bits
+    ctg.add_edge(CommEdge("capture", "filter", volume=frame))
+    ctg.add_edge(CommEdge("filter", "edges", volume=frame / 2))
+    ctg.add_edge(CommEdge("filter", "blur", volume=frame / 2))
+    ctg.add_edge(CommEdge("edges", "merge", volume=frame / 4))
+    ctg.add_edge(CommEdge("blur", "merge", volume=frame / 4))
+    return ctg
+
+
+def main() -> None:
+    ctg = build_pipeline()
+    acg = mesh_2x2()
+    print(acg.describe())
+    print()
+
+    eas = eas_schedule(ctg, acg)
+    edf = edf_schedule(ctg, acg)
+    for schedule in (eas, edf):
+        schedule.validate_structure()
+        print(schedule.summary())
+
+    savings = 100 * (edf.total_energy() - eas.total_energy()) / edf.total_energy()
+    print(f"\nEAS saves {savings:.1f}% energy vs EDF while meeting the deadline.\n")
+
+    print(render_gantt(eas, width=64))
+    print()
+    print("Task placements (EAS):")
+    for name, placement in sorted(eas.task_placements.items()):
+        pe = acg.pe(placement.pe)
+        print(
+            f"  {name:>8} -> PE{placement.pe} ({pe.type_name:>4}) "
+            f"[{placement.start:8.1f}, {placement.finish:8.1f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""NoC platform model: tiles, topology, routing, and the ACG.
+
+The ACG (paper, Definition 2) exposes, for every ordered PE pair, the
+route, the per-bit energy ``e(r_ij)`` (Eq. 2) and the bandwidth
+``b(r_ij)``.
+"""
+
+from repro.arch.pe import PE, PEType, STANDARD_PE_TYPES, pe_type
+from repro.arch.topology import HoneycombTopology, Link, Mesh2D, Topology, Torus2D
+from repro.arch.routing import (
+    ROUTING_ALGORITHMS,
+    RoutingAlgorithm,
+    XYRouting,
+    YXRouting,
+    get_routing,
+)
+from repro.arch.energy import BitEnergyModel
+from repro.arch.acg import ACG
+from repro.arch.presets import (
+    hetero_mesh,
+    mesh_2x2,
+    mesh_3x3,
+    mesh_4x4,
+)
+
+__all__ = [
+    "ACG",
+    "BitEnergyModel",
+    "HoneycombTopology",
+    "Link",
+    "Mesh2D",
+    "PE",
+    "PEType",
+    "ROUTING_ALGORITHMS",
+    "RoutingAlgorithm",
+    "STANDARD_PE_TYPES",
+    "Topology",
+    "Torus2D",
+    "XYRouting",
+    "YXRouting",
+    "get_routing",
+    "hetero_mesh",
+    "mesh_2x2",
+    "mesh_3x3",
+    "mesh_4x4",
+    "pe_type",
+]

@@ -1,0 +1,111 @@
+"""Processing-element types and instances.
+
+The paper's platforms are heterogeneous: "one tile can be a DSP, another
+tile can be a high performance, energy-hungry CPU, yet another one can be
+a low-power ARM processor".  A :class:`PEType` captures the speed/power
+personality of such a tile; a :class:`PE` is one placed instance.
+
+The standard catalogue below is deliberately *anti-correlated* — faster
+types burn more energy per unit of work — because that tension is what
+gives an energy-aware scheduler room to beat a performance-oriented one.
+The concrete numbers are order-of-magnitude figures for early-2000s
+embedded cores; only their ratios matter to the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class PEType:
+    """A processing-element personality.
+
+    Attributes:
+        name: catalogue key (e.g. ``"dsp"``).
+        speed_factor: execution-time multiplier relative to a reference
+            core (< 1 is faster).
+        energy_factor: computation-energy multiplier relative to the
+            reference core (> 1 is hungrier).
+        description: human-readable note.
+    """
+
+    name: str
+    speed_factor: float
+    energy_factor: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise ArchitectureError(f"PE type {self.name!r}: speed_factor must be > 0")
+        if self.energy_factor <= 0:
+            raise ArchitectureError(f"PE type {self.name!r}: energy_factor must be > 0")
+
+
+#: Reference heterogeneous catalogue used by the platform presets and the
+#: random benchmark generator.  Speed and energy factors are relative to
+#: the ``risc`` core.
+STANDARD_PE_TYPES: Dict[str, PEType] = {
+    "cpu": PEType(
+        name="cpu",
+        speed_factor=0.45,
+        energy_factor=2.6,
+        description="high-performance energy-hungry out-of-order CPU",
+    ),
+    "risc": PEType(
+        name="risc",
+        speed_factor=1.0,
+        energy_factor=1.0,
+        description="reference embedded RISC core",
+    ),
+    "dsp": PEType(
+        name="dsp",
+        speed_factor=0.7,
+        energy_factor=1.3,
+        description="VLIW DSP, fast on signal-processing kernels",
+    ),
+    "arm": PEType(
+        name="arm",
+        speed_factor=1.4,
+        energy_factor=0.5,
+        description="low-power ARM-class core",
+    ),
+    "mcu": PEType(
+        name="mcu",
+        speed_factor=2.2,
+        energy_factor=0.3,
+        description="tiny microcontroller-class core",
+    ),
+}
+
+
+def pe_type(name: str) -> PEType:
+    """Look up a catalogue PE type by name."""
+    try:
+        return STANDARD_PE_TYPES[name]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown PE type {name!r}; known: {sorted(STANDARD_PE_TYPES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PE:
+    """One placed processing element (a tile's computation half).
+
+    Attributes:
+        index: dense PE index within the platform (the ``j`` of the
+            paper's ``R_i``/``E_i`` arrays).
+        position: topology coordinate (e.g. ``(row, col)`` on a mesh).
+        type_name: key into the PE-type catalogue / task cost tables.
+    """
+
+    index: int
+    position: Tuple[int, ...]
+    type_name: str
+
+    def __repr__(self) -> str:
+        return f"PE({self.index}@{self.position}:{self.type_name})"

@@ -1,0 +1,70 @@
+"""Platform presets matching the paper's experimental setups.
+
+* 4x4 heterogeneous mesh — the random-benchmark platform (Sec. 6.1),
+* 2x2 heterogeneous mesh — the A/V encoder and decoder platforms
+  (Tables 1-2),
+* 3x3 heterogeneous mesh — the integrated A/V system platform (Table 3).
+
+The type mixes are chosen so every platform contains at least one fast
+energy-hungry tile, one balanced tile and one low-power tile — the
+heterogeneity the EAS weight metric feeds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.arch.acg import ACG, DEFAULT_BANDWIDTH
+from repro.arch.energy import BitEnergyModel
+from repro.arch.routing import RoutingAlgorithm
+from repro.arch.topology import Mesh2D
+from repro.errors import ArchitectureError
+from repro.rng import RandomLike, make_rng
+
+#: Default repeating type pattern used to fill heterogeneous meshes.
+DEFAULT_TYPE_CYCLE: Sequence[str] = ("cpu", "dsp", "arm", "risc")
+
+
+def hetero_mesh(
+    rows: int,
+    cols: int,
+    type_cycle: Sequence[str] = DEFAULT_TYPE_CYCLE,
+    routing: Optional[RoutingAlgorithm] = None,
+    energy_model: Optional[BitEnergyModel] = None,
+    link_bandwidth: float = DEFAULT_BANDWIDTH,
+    shuffle_seed: RandomLike = None,
+) -> ACG:
+    """A ``rows x cols`` mesh tiled with a repeating heterogeneous pattern.
+
+    With ``shuffle_seed`` set, the type assignment is a seeded random
+    permutation of the same multiset (used to diversify the ten random
+    benchmarks without changing the type mix).
+    """
+    if not type_cycle:
+        raise ArchitectureError("type_cycle must be non-empty")
+    topology = Mesh2D(rows, cols)
+    types: List[str] = [type_cycle[i % len(type_cycle)] for i in range(topology.n_tiles)]
+    if shuffle_seed is not None:
+        make_rng(shuffle_seed).shuffle(types)
+    return ACG(
+        topology=topology,
+        pe_types=types,
+        routing=routing,
+        energy_model=energy_model,
+        link_bandwidth=link_bandwidth,
+    )
+
+
+def mesh_4x4(**kwargs) -> ACG:
+    """The Sec. 6.1 platform: 4x4 heterogeneous mesh, 16 tiles."""
+    return hetero_mesh(4, 4, **kwargs)
+
+
+def mesh_3x3(**kwargs) -> ACG:
+    """The Table 3 platform: 3x3 heterogeneous mesh, 9 tiles."""
+    return hetero_mesh(3, 3, **kwargs)
+
+
+def mesh_2x2(**kwargs) -> ACG:
+    """The Tables 1-2 platform: 2x2 heterogeneous mesh, 4 tiles."""
+    return hetero_mesh(2, 2, **kwargs)

@@ -1,0 +1,109 @@
+"""Additional reference schedulers: energy-greedy and random.
+
+Neither is in the paper; both bracket the EAS/EDF comparison.
+
+* :func:`greedy_energy_schedule` is the energy-myopic extreme: every
+  task goes to its locally cheapest PE with no deadline awareness — a
+  lower-is-not-always-feasible reference for energy.
+* :func:`random_schedule` maps tasks uniformly at random (feasible types
+  only); useful as a statistical null and in property tests.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+from repro.arch.acg import ACG
+from repro.core.comm import incoming_comm_energy, schedule_incoming_transactions
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.graph import CTG
+from repro.errors import SchedulingError
+from repro.rng import RandomLike, make_rng
+from repro.schedule.entries import TaskPlacement
+from repro.schedule.overlay import ResourceTables
+from repro.schedule.schedule import Schedule
+
+
+def greedy_energy_schedule(ctg: CTG, acg: ACG) -> Schedule:
+    """Map each ready task to the PE minimising its marginal energy.
+
+    The marginal energy of task ``i`` on PE ``k`` is its computation
+    energy plus the network energy of its already-placed inputs — the
+    same ``E1`` quantity EAS uses, but applied greedily with no deadline
+    budget at all.
+    """
+    started = time.perf_counter()
+    schedule = Schedule(ctg, acg, algorithm="greedy-energy")
+    tables = ResourceTables()
+    placements: Dict[str, TaskPlacement] = {}
+    mapping: Dict[str, int] = {}
+
+    remaining_preds = {name: ctg.in_degree(name) for name in ctg.task_names()}
+    ready = sorted(name for name, n in remaining_preds.items() if n == 0)
+
+    while ready:
+        chosen = ready[0]  # FIFO over a sorted ready list: deterministic
+        task = ctg.task(chosen)
+        best_pe = -1
+        best_energy = math.inf
+        for pe in acg.pes:
+            cost = task.cost_on(pe.type_name)
+            if not cost.feasible:
+                continue
+            energy = cost.energy + incoming_comm_energy(ctg, acg, chosen, pe.index, mapping)
+            if energy < best_energy:
+                best_energy = energy
+                best_pe = pe.index
+        if best_pe < 0:
+            raise SchedulingError(f"task {chosen!r} has no feasible PE")
+
+        cost = task.cost_on(acg.pe(best_pe).type_name)
+        overlay = tables.overlay()
+        drt, comms = schedule_incoming_transactions(
+            ctg, acg, chosen, best_pe, placements, overlay
+        )
+        start = overlay.find_earliest(best_pe, drt, cost.time)
+        overlay.commit()
+        tables.reserve(best_pe, start, start + cost.time)
+        placement = TaskPlacement(
+            task=chosen, pe=best_pe, start=start, finish=start + cost.time, energy=cost.energy
+        )
+        placements[chosen] = placement
+        mapping[chosen] = best_pe
+        schedule.place_task(placement)
+        for comm in comms:
+            schedule.place_comm(comm)
+
+        ready.remove(chosen)
+        for succ in ctg.successors(chosen):
+            remaining_preds[succ] -= 1
+            if remaining_preds[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+
+    schedule.runtime_seconds = time.perf_counter() - started
+    return schedule
+
+
+def random_schedule(ctg: CTG, acg: ACG, seed: RandomLike = None) -> Schedule:
+    """Uniform random feasible mapping, rebuilt with topological orders."""
+    rng = make_rng(seed)
+    mapping: Dict[str, int] = {}
+    for task in ctg.tasks():
+        candidates = [
+            pe.index for pe in acg.pes if task.cost_on(pe.type_name).feasible
+        ]
+        if not candidates:
+            raise SchedulingError(f"task {task.name!r} has no feasible PE")
+        mapping[task.name] = rng.choice(candidates)
+
+    orders: Dict[int, list] = {pe.index: [] for pe in acg.pes}
+    for name in ctg.topological_order():
+        orders[mapping[name]].append(name)
+
+    started = time.perf_counter()
+    schedule = rebuild_schedule(ctg, acg, mapping, orders, algorithm="random")
+    schedule.runtime_seconds = time.perf_counter() - started
+    return schedule

@@ -1,0 +1,161 @@
+"""Exact minimum-energy mapping by branch-and-bound (small instances).
+
+The paper notes the problem is NP-hard [16] and offers a heuristic; to
+*measure* how good the heuristic is, this module computes the exact
+optimum for small CTGs: it enumerates every task-to-PE mapping with
+branch-and-bound on the Eq. 3 energy objective, timing each candidate
+mapping with the same deterministic rebuild (and therefore the same
+contention model) the repair step uses, and keeping the cheapest
+mapping that meets all deadlines.
+
+"Exact" means exact over the mapping space crossed with the library's
+deterministic timing policy (per-PE execution in effective-deadline
+order).  Orderings are not enumerated — for the graph sizes this is
+meant for (<= ~10 tasks) the mapping choice dominates, and the energy
+objective itself depends on the mapping only, so the returned *energy*
+is a true lower bound among deadline-feasible mappings under that
+policy.
+
+Complexity is O(P^V) worst case; the bound prunes most branches.  A
+hard ``max_tasks`` guard protects against accidental explosion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.acg import ACG
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.analysis import effective_deadlines
+from repro.ctg.graph import CTG
+from repro.errors import InfeasibleOrderError, SchedulingError
+from repro.schedule.schedule import Schedule
+
+#: Refuse instances whose search space would be astronomically large.
+DEFAULT_MAX_TASKS = 12
+
+
+@dataclass
+class OptimalResult:
+    """Outcome of the exact search."""
+
+    schedule: Optional[Schedule]
+    energy: float
+    mappings_enumerated: int
+    mappings_timed: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.schedule is not None
+
+
+def optimal_schedule(
+    ctg: CTG,
+    acg: ACG,
+    require_deadlines: bool = True,
+    max_tasks: int = DEFAULT_MAX_TASKS,
+) -> OptimalResult:
+    """Exact minimum-energy (deadline-feasible) mapping.
+
+    Args:
+        ctg: the application (at most ``max_tasks`` tasks).
+        acg: the platform.
+        require_deadlines: when True (default) only mappings whose
+            rebuilt timing meets every deadline are candidates; when
+            False the unconstrained energy optimum is returned (useful
+            as an absolute lower bound).
+        max_tasks: hard instance-size guard.
+
+    Returns:
+        :class:`OptimalResult`; ``schedule`` is ``None`` when no mapping
+        is deadline-feasible under the timing policy.
+    """
+    names = ctg.topological_order()
+    if len(names) > max_tasks:
+        raise SchedulingError(
+            f"exact search limited to {max_tasks} tasks; got {len(names)} "
+            "(raise max_tasks explicitly if you really mean it)"
+        )
+
+    # Per-task feasible PE lists with computation energies, cheapest first
+    # (greedy descent reaches good incumbents early -> stronger pruning).
+    options: List[List[Tuple[float, int]]] = []
+    for name in names:
+        task = ctg.task(name)
+        feasible = sorted(
+            (task.energy_on(acg.pe(k).type_name), k)
+            for k in range(acg.n_pes)
+            if task.cost_on(acg.pe(k).type_name).feasible
+        )
+        if not feasible:
+            raise SchedulingError(f"task {name!r} has no feasible PE")
+        options.append(feasible)
+
+    # Lower bound on the remaining computation energy from task i on.
+    min_comp_suffix = [0.0] * (len(names) + 1)
+    for i in range(len(names) - 1, -1, -1):
+        min_comp_suffix[i] = min_comp_suffix[i + 1] + options[i][0][0]
+
+    index_of = {name: i for i, name in enumerate(names)}
+    in_edges_resolved: List[List[Tuple[int, float]]] = []
+    for name in names:
+        resolved = []
+        for edge in ctg.in_edges(name):
+            resolved.append((index_of[edge.src], edge.volume))
+        in_edges_resolved.append(resolved)
+
+    eff_deadline = effective_deadlines(ctg, acg.pe_type_names())
+
+    best_energy = math.inf
+    best_schedule: Optional[Schedule] = None
+    counters = {"enumerated": 0, "timed": 0}
+    assignment: List[int] = [0] * len(names)
+
+    def time_and_check(mapping: Dict[str, int]) -> Optional[Schedule]:
+        orders: Dict[int, List[str]] = {pe.index: [] for pe in acg.pes}
+        # Deterministic policy: effective-deadline order per PE, ties
+        # broken topologically so same-PE chains are never inverted.
+        for name in sorted(names, key=lambda n: (eff_deadline[n], index_of[n])):
+            orders[mapping[name]].append(name)
+        try:
+            return rebuild_schedule(ctg, acg, mapping, orders, algorithm="optimal")
+        except InfeasibleOrderError:
+            return None
+
+    def recurse(i: int, energy_so_far: float) -> None:
+        nonlocal best_energy, best_schedule
+        if energy_so_far + min_comp_suffix[i] >= best_energy:
+            return
+        if i == len(names):
+            counters["enumerated"] += 1
+            mapping = {names[j]: assignment[j] for j in range(len(names))}
+            counters["timed"] += 1
+            schedule = time_and_check(mapping)
+            if schedule is None:
+                return
+            if require_deadlines and schedule.deadline_misses():
+                return
+            total = schedule.total_energy()
+            if total < best_energy:
+                best_energy = total
+                best_schedule = schedule
+            return
+        for comp_energy, pe_index in options[i]:
+            comm_energy = 0.0
+            for src_idx, volume in in_edges_resolved[i]:
+                comm_energy += acg.comm_energy(volume, assignment[src_idx], pe_index)
+            branch = energy_so_far + comp_energy + comm_energy
+            if branch + min_comp_suffix[i + 1] >= best_energy:
+                continue
+            assignment[i] = pe_index
+            recurse(i + 1, branch)
+
+    recurse(0, 0.0)
+    return OptimalResult(
+        schedule=best_schedule,
+        energy=best_energy if best_schedule is not None else math.inf,
+        mappings_enumerated=counters["enumerated"],
+        mappings_timed=counters["timed"],
+    )

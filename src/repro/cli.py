@@ -1,0 +1,244 @@
+"""Command-line interface: ``repro-noc`` / ``python -m repro``.
+
+Subcommands regenerate the paper's evaluation artefacts or schedule a
+single benchmark and print its Gantt chart:
+
+* ``repro-noc fig5`` / ``fig6`` — random-benchmark comparisons,
+* ``repro-noc table1`` / ``table2`` / ``table3`` — multimedia tables,
+* ``repro-noc fig7`` — the performance/energy trade-off sweep,
+* ``repro-noc schedule --system encoder --clip foreman`` — one run,
+  with Gantt output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
+from repro.baselines.edf import edf_schedule
+from repro.core.eas import eas_base_schedule, eas_schedule
+from repro.ctg.generator import generate_category
+from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
+from repro.evalx.experiments import (
+    run_fig7,
+    run_msb_table,
+    run_random_category,
+)
+from repro.evalx.reporting import format_figure, format_table
+from repro.schedule.gantt import render_gantt
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noc",
+        description="Reproduce Hu & Marculescu (DATE 2004): EAS for NoCs.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    parser.set_defaults(command=None)
+
+    for fig, category in (("fig5", 1), ("fig6", 2)):
+        p = sub.add_parser(fig, help=f"random category-{'I' * category} comparison")
+        p.add_argument("--n-tasks", type=int, default=None, help="tasks per graph (default 150; paper 500)")
+        p.add_argument("--benchmarks", type=int, default=10, help="number of random graphs")
+        p.set_defaults(handler=_handle_random, category=category, figure=fig)
+
+    for table, system in (("table1", "encoder"), ("table2", "decoder"), ("table3", "integrated")):
+        p = sub.add_parser(table, help=f"multimedia {system} table")
+        p.set_defaults(handler=_handle_msb, system=system, table=table)
+
+    p = sub.add_parser("fig7", help="performance/energy trade-off sweep")
+    p.add_argument("--clip", default="foreman", choices=CLIP_NAMES)
+    p.add_argument("--max-ratio", type=float, default=1.6)
+    p.add_argument("--steps", type=int, default=7)
+    p.set_defaults(handler=_handle_fig7)
+
+    p = sub.add_parser("schedule", help="schedule one benchmark and show the Gantt chart")
+    p.add_argument("--system", default="encoder", choices=["encoder", "decoder", "integrated", "random"])
+    p.add_argument("--clip", default="foreman", choices=CLIP_NAMES)
+    p.add_argument("--algorithm", default="eas", choices=["eas", "eas-base", "edf"])
+    p.add_argument("--category", type=int, default=1, choices=[1, 2], help="random category")
+    p.add_argument("--index", type=int, default=0, help="random benchmark index")
+    p.add_argument("--n-tasks", type=int, default=60, help="random benchmark size")
+    p.add_argument("--links", action="store_true", help="include link rows in the Gantt chart")
+    p.add_argument("--dvs", action="store_true", help="apply the DVS slack-reclamation post-pass")
+    p.add_argument("--save", metavar="FILE", help="write the schedule as JSON")
+    p.add_argument("--svg", metavar="FILE", help="write an SVG Gantt chart")
+    p.add_argument("--svg-platform", metavar="FILE", help="write an SVG platform/mapping view")
+    p.set_defaults(handler=_handle_schedule)
+
+    p = sub.add_parser("compare", help="EAS vs EDF decomposition on one benchmark")
+    p.add_argument("--system", default="encoder", choices=["encoder", "decoder", "integrated"])
+    p.add_argument("--clip", default="foreman", choices=CLIP_NAMES)
+    p.set_defaults(handler=_handle_compare)
+
+    p = sub.add_parser("optimal", help="exact optimum vs EAS/EDF on a tiny random graph")
+    p.add_argument("--n-tasks", type=int, default=7, help="graph size (<= 12)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_handle_optimal)
+
+    p = sub.add_parser("export-ctg", help="generate a random CTG and write it as JSON")
+    p.add_argument("output", help="output file path")
+    p.add_argument("--category", type=int, default=1, choices=[1, 2])
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--n-tasks", type=int, default=100)
+    p.set_defaults(handler=_handle_export_ctg)
+
+    return parser
+
+
+def _handle_random(args) -> int:
+    rows = run_random_category(
+        args.category,
+        n_benchmarks=args.benchmarks,
+        n_tasks=args.n_tasks,
+        progress=lambda msg: print("  ..", msg, file=sys.stderr),
+    )
+    print(
+        format_table(
+            rows,
+            f"{args.figure.upper()}: category {'I' * args.category} random benchmarks "
+            f"(4x4 heterogeneous mesh)",
+        )
+    )
+    return 0
+
+
+def _handle_msb(args) -> int:
+    rows = run_msb_table(args.system)
+    print(
+        format_table(
+            rows,
+            f"{args.table.upper()}: A/V {args.system} (EAS vs EDF)",
+            extra_columns=("eas:comp", "eas:comm", "eas:hops", "edf:hops"),
+        )
+    )
+    return 0
+
+
+def _handle_fig7(args) -> int:
+    steps = max(2, args.steps)
+    ratios = [
+        1.0 + (args.max_ratio - 1.0) * i / (steps - 1) for i in range(steps)
+    ]
+    figure = run_fig7(ratios=ratios, clip=args.clip)
+    print(format_figure(figure, f"FIG7: energy vs performance ratio ({args.clip})"))
+    return 0
+
+
+def _handle_schedule(args) -> int:
+    if args.system == "random":
+        ctg = generate_category(args.category, args.index, n_tasks=args.n_tasks)
+        acg = mesh_4x4(shuffle_seed=100 + args.index)
+    else:
+        builder = {
+            "encoder": (av_encoder_ctg, mesh_2x2),
+            "decoder": (av_decoder_ctg, mesh_2x2),
+            "integrated": (av_integrated_ctg, mesh_3x3),
+        }[args.system]
+        ctg = builder[0](args.clip)
+        acg = builder[1]()
+    scheduler = {
+        "eas": eas_schedule,
+        "eas-base": eas_base_schedule,
+        "edf": edf_schedule,
+    }[args.algorithm]
+    schedule = scheduler(ctg, acg)
+    if args.dvs:
+        from repro.core.dvs import apply_dvs
+
+        schedule, report = apply_dvs(schedule)
+        print(
+            f"DVS: scaled {report.tasks_scaled} tasks, "
+            f"saved {report.savings_pct:.1f}% energy"
+        )
+    print(schedule.summary())
+    print(render_gantt(schedule, include_links=args.links))
+    if args.save:
+        from repro.schedule.serialization import schedule_to_json
+
+        with open(args.save, "w") as handle:
+            handle.write(schedule_to_json(schedule))
+        print(f"schedule written to {args.save}")
+    if args.svg:
+        from repro.schedule.svg import render_schedule_svg
+
+        with open(args.svg, "w") as handle:
+            handle.write(render_schedule_svg(schedule))
+        print(f"SVG Gantt written to {args.svg}")
+    if args.svg_platform:
+        from repro.schedule.svg import render_platform_svg
+
+        with open(args.svg_platform, "w") as handle:
+            handle.write(render_platform_svg(schedule))
+        print(f"SVG platform view written to {args.svg_platform}")
+    return 0
+
+
+def _handle_compare(args) -> int:
+    from repro.evalx.analysis import compare_schedules, utilization_table
+
+    builder = {
+        "encoder": (av_encoder_ctg, mesh_2x2),
+        "decoder": (av_decoder_ctg, mesh_2x2),
+        "integrated": (av_integrated_ctg, mesh_3x3),
+    }[args.system]
+    ctg = builder[0](args.clip)
+    acg = builder[1]()
+    eas = eas_schedule(ctg, acg)
+    edf = edf_schedule(ctg, acg)
+    print(compare_schedules(eas, edf).describe())
+    print()
+    print(utilization_table(eas))
+    print()
+    print(utilization_table(edf))
+    return 0
+
+
+def _handle_optimal(args) -> int:
+    from repro.baselines.optimal import optimal_schedule
+    from repro.ctg.generator import GeneratorConfig, generate_ctg
+
+    ctg = generate_ctg(
+        GeneratorConfig(
+            n_tasks=args.n_tasks, seed=args.seed, deadline_laxity=1.9, level_width=3.0
+        )
+    )
+    acg = mesh_2x2()
+    exact = optimal_schedule(ctg, acg)
+    eas = eas_schedule(ctg, acg)
+    edf = edf_schedule(ctg, acg)
+    if not exact.feasible:
+        print(f"{ctg.name}: no deadline-feasible mapping exists")
+        return 1
+    print(
+        f"{ctg.name}: optimal {exact.energy:.4g} nJ "
+        f"({exact.mappings_timed} mappings timed)"
+    )
+    print(f"  EAS {eas.total_energy():.4g} nJ (x{eas.total_energy() / exact.energy:.3f})")
+    print(f"  EDF {edf.total_energy():.4g} nJ (x{edf.total_energy() / exact.energy:.3f})")
+    return 0
+
+
+def _handle_export_ctg(args) -> int:
+    from repro.ctg.serialization import ctg_to_json
+
+    ctg = generate_category(args.category, args.index, n_tasks=args.n_tasks)
+    with open(args.output, "w") as handle:
+        handle.write(ctg_to_json(ctg))
+    print(f"{ctg.name}: {ctg.n_tasks} tasks, {ctg.n_edges} edges -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""The Fig. 3 communication scheduler.
+
+Given a candidate destination PE for a task, schedule all of the task's
+*receiving* communication transactions (its LCT) onto the link schedule
+tables, and return the data ready time ``DRT`` — the latest arrival among
+them.  Transactions are processed in increasing sender-finish order; each
+one is placed at the earliest slot where its *entire* XY path is free for
+the whole transfer duration (wormhole: the path is held end to end), and
+its reservation is visible to the transactions scheduled after it.
+
+All reservations go through a :class:`TentativeOverlay`, so the caller
+decides whether this was a what-if evaluation (drop) or the real
+placement (commit) — the paper's "schedule tables ... will be restored
+every time a F(i,k) is calculated".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.arch.acg import ACG
+from repro.ctg.graph import CTG
+from repro.errors import SchedulingError
+from repro.schedule.entries import CommPlacement, TaskPlacement
+from repro.schedule.overlay import TentativeOverlay
+
+
+def schedule_incoming_transactions(
+    ctg: CTG,
+    acg: ACG,
+    task: str,
+    dst_pe: int,
+    placements: Mapping[str, TaskPlacement],
+    overlay: TentativeOverlay,
+    contention_aware: bool = True,
+) -> Tuple[float, List[CommPlacement]]:
+    """Schedule the LCT of ``task`` assuming it runs on ``dst_pe``.
+
+    Args:
+        ctg: application graph.
+        acg: platform.
+        task: the receiving task.
+        dst_pe: candidate destination PE index.
+        placements: already-committed task placements; every predecessor
+            of ``task`` must appear here (level-based scheduling only
+            considers ready tasks).
+        overlay: tentative layer over the committed link tables; this
+            function records its reservations there and never commits.
+        contention_aware: when False, link occupancy is ignored — every
+            transaction pretends to start the moment its sender finishes
+            (the fixed-delay model the paper's introduction criticises).
+            Used only by the contention ablation; the resulting
+            placements may overlap on links.
+
+    Returns:
+        ``(drt, comm_placements)`` — the data ready time (0.0 for source
+        tasks) and one :class:`CommPlacement` per incoming edge, in the
+        order they were scheduled.
+    """
+    lct = ctg.in_edges(task)
+    if not lct:
+        return 0.0, []
+
+    for edge in lct:
+        if edge.src not in placements:
+            raise SchedulingError(
+                f"cannot schedule transactions of {task!r}: sender {edge.src!r} unplaced"
+            )
+
+    # Fig. 3: "sort LCT by the finish time of its sender".
+    lct = sorted(lct, key=lambda e: (placements[e.src].finish, e.src))
+
+    drt = 0.0
+    comm_placements: List[CommPlacement] = []
+    for edge in lct:
+        sender = placements[edge.src]
+        route = acg.route(sender.pe, dst_pe)
+        duration = acg.comm_duration(edge.volume, sender.pe, dst_pe)
+        if route.is_local or duration == 0.0:
+            # Same tile or zero volume: no links held, data available at
+            # the moment the sender finishes.
+            start = finish = sender.finish
+        elif not contention_aware:
+            # Fixed-delay model: transfer time only, no link arbitration.
+            start = sender.finish
+            finish = start + duration
+        else:
+            start = overlay.find_earliest_on_path(route.links, sender.finish, duration)
+            finish = start + duration
+            overlay.reserve_on_path(route.links, start, finish)
+        comm_placements.append(
+            CommPlacement(
+                src_task=edge.src,
+                dst_task=task,
+                volume=edge.volume,
+                src_pe=sender.pe,
+                dst_pe=dst_pe,
+                start=start,
+                finish=finish,
+                links=route.links,
+                energy=acg.comm_energy(edge.volume, sender.pe, dst_pe),
+            )
+        )
+        if finish > drt:
+            drt = finish
+
+    return drt, comm_placements
+
+
+def incoming_comm_energy(
+    ctg: CTG,
+    acg: ACG,
+    task: str,
+    dst_pe: int,
+    mapping: Mapping[str, int],
+) -> float:
+    """Network energy of delivering all of ``task``'s inputs to ``dst_pe``.
+
+    Depends only on the mapping (Eq. 3's communication term), not on
+    timing; used by the level-based scheduler's ``E1``/``E2`` metrics and
+    by GTM's destination ordering.
+    """
+    total = 0.0
+    for edge in ctg.in_edges(task):
+        src_pe = mapping.get(edge.src)
+        if src_pe is not None:
+            total += acg.comm_energy(edge.volume, src_pe, dst_pe)
+    return total
+
+
+def outgoing_comm_energy(
+    ctg: CTG,
+    acg: ACG,
+    task: str,
+    src_pe: int,
+    mapping: Mapping[str, int],
+) -> float:
+    """Network energy of ``task``'s outputs toward already-mapped consumers."""
+    total = 0.0
+    for edge in ctg.out_edges(task):
+        dst_pe = mapping.get(edge.dst)
+        if dst_pe is not None:
+            total += acg.comm_energy(edge.volume, src_pe, dst_pe)
+    return total

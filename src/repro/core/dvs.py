@@ -1,0 +1,179 @@
+"""Dynamic voltage scaling (DVS) post-pass — an extension experiment.
+
+The paper's related work (Sec. 2) contrasts EAS with low-power
+schedulers that "manipulate the task execution slacks" on DVS-capable
+architectures [5][11] but notes those assume homogeneous shared-bus
+platforms.  On a NoC, nothing prevents *combining* the two: after EAS
+fixes the mapping and ordering, whatever slack remains before each
+deadline can still be converted into voltage reduction on DVS-capable
+tiles.  This module implements that combination as a schedule
+post-pass, giving the repository the natural "future work" data point:
+how much extra energy a voltage-scalable platform recovers on top of
+energy-aware mapping.
+
+Model (the standard first-order CMOS one used by [5]):
+
+* a task stretched by factor ``s >= 1`` runs at frequency ``f/s``,
+  which permits voltage ``~V/s``; dynamic energy ``C V^2`` then drops by
+  ``~1/s^2`` — ``energy(s) = energy(1) / s^2``;
+* each PE offers a discrete set of scaling factors (voltage levels),
+  ``1.0`` always included;
+* only computation energy scales; communication energy is untouched.
+
+The pass works on the *timed* schedule: tasks are visited in reverse
+start-time order and greedily stretched to the largest factor that
+keeps (a) the task inside the idle gap before the next task on its PE,
+(b) every outgoing transaction's start time, and (c) its own effective
+deadline.  Criterion (b) keeps the link schedule and every downstream
+time verbatim — the pass is provably safe (the result still validates
+structurally) at the cost of some recoverable slack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ctg.analysis import effective_deadlines
+from repro.errors import SchedulingError
+from repro.schedule.entries import TaskPlacement
+from repro.schedule.schedule import Schedule
+from repro.schedule.table import EPS
+
+#: Factors corresponding to a typical 4-level DVS ladder
+#: (e.g. 1.0/0.8/0.66/0.5 of nominal voltage-frequency).
+DEFAULT_LEVELS: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0)
+
+
+@dataclass(frozen=True)
+class DVSConfig:
+    """DVS platform description.
+
+    Attributes:
+        levels: allowed stretch factors (>= 1.0; 1.0 must be included).
+        capable_types: PE type names that support DVS; ``None`` means
+            every type does.
+        respect_deadlines: refuse stretches that push a task past its
+            effective deadline (on by default; turning it off gives the
+            unconstrained energy floor of the ladder).
+    """
+
+    levels: Tuple[float, ...] = DEFAULT_LEVELS
+    capable_types: Optional[Tuple[str, ...]] = None
+    respect_deadlines: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.levels or min(self.levels) < 1.0:
+            raise SchedulingError("DVS levels must all be >= 1.0")
+        if 1.0 not in self.levels:
+            raise SchedulingError("DVS levels must include 1.0 (nominal)")
+
+    def supports(self, pe_type: str) -> bool:
+        return self.capable_types is None or pe_type in self.capable_types
+
+
+@dataclass
+class DVSReport:
+    """What the post-pass did."""
+
+    tasks_scaled: int = 0
+    energy_before: float = 0.0
+    energy_after: float = 0.0
+    stretch_factors: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def savings_pct(self) -> float:
+        if self.energy_before == 0:
+            return 0.0
+        return 100.0 * (self.energy_before - self.energy_after) / self.energy_before
+
+
+def apply_dvs(
+    schedule: Schedule,
+    config: Optional[DVSConfig] = None,
+) -> Tuple[Schedule, DVSReport]:
+    """Stretch tasks into their local slack on DVS-capable tiles.
+
+    Returns a new schedule (the input is untouched) plus a report.  The
+    output schedule keeps every communication transaction and every
+    task's *start* time; only durations/finishes of stretched tasks move
+    later within their private slack, so it satisfies exactly the same
+    structural invariants — except the duration-matches-cost-table
+    check, which by construction no longer applies to scaled tasks.
+    """
+    cfg = config or DVSConfig()
+    ctg, acg = schedule.ctg, schedule.acg
+    report = DVSReport(energy_before=schedule.total_energy())
+
+    result = Schedule(ctg, acg, algorithm=f"{schedule.algorithm}+dvs")
+    for comm in schedule.comm_placements.values():
+        result.place_comm(comm)
+
+    eff_deadline = effective_deadlines(ctg, acg.pe_type_names())
+
+    # Next-start per PE: the stretch ceiling from resource occupancy.
+    by_pe: Dict[int, List[TaskPlacement]] = {}
+    for placement in schedule.task_placements.values():
+        by_pe.setdefault(placement.pe, []).append(placement)
+    next_start: Dict[str, float] = {}
+    for placements in by_pe.values():
+        placements.sort(key=lambda p: p.start)
+        for current, nxt in zip(placements, placements[1:]):
+            next_start[current.task] = nxt.start
+
+    # Earliest outgoing transaction per task: stretching must not delay it.
+    first_out: Dict[str, float] = {}
+    for (src, _dst), comm in schedule.comm_placements.items():
+        first_out[src] = min(first_out.get(src, math.inf), comm.start)
+
+    for placement in schedule.task_placements.values():
+        limit = _stretch_limit(placement, next_start, first_out, eff_deadline, cfg)
+        gap = limit - placement.start
+        factor = _best_factor(cfg.levels, placement.duration, gap)
+        pe_type = acg.pe(placement.pe).type_name
+        if factor > 1.0 and cfg.supports(pe_type):
+            new_finish = placement.start + placement.duration * factor
+            new_energy = placement.energy / (factor * factor)
+            report.tasks_scaled += 1
+            report.stretch_factors[placement.task] = factor
+            result.place_task(
+                TaskPlacement(
+                    task=placement.task,
+                    pe=placement.pe,
+                    start=placement.start,
+                    finish=new_finish,
+                    energy=new_energy,
+                )
+            )
+        else:
+            result.place_task(placement)
+
+    report.energy_after = result.total_energy()
+    return result, report
+
+
+def _stretch_limit(
+    placement: TaskPlacement,
+    next_start: Dict[str, float],
+    first_out: Dict[str, float],
+    eff_deadline: Dict[str, float],
+    cfg: DVSConfig,
+) -> float:
+    """Latest finish time the task may stretch to without side effects."""
+    limit = next_start.get(placement.task, math.inf)
+    limit = min(limit, first_out.get(placement.task, math.inf))
+    if cfg.respect_deadlines:
+        limit = min(limit, eff_deadline[placement.task])
+    return limit
+
+
+def _best_factor(levels: Sequence[float], duration: float, gap: float) -> float:
+    """Largest ladder level whose stretched duration fits the gap."""
+    if duration <= 0:
+        return 1.0
+    best = 1.0
+    for level in levels:
+        if level > best and duration * level <= gap + EPS:
+            best = level
+    return best

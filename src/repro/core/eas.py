@@ -1,0 +1,302 @@
+"""EAS Step 2: level-based scheduling, plus the top-level EAS driver.
+
+The level-based scheduler repeatedly examines the **ready task list**
+(RTL — tasks whose predecessors are all scheduled).  For every
+``(task, PE)`` combination it computes the earliest finish time
+
+    ``F(i,k) = start(i,k) + r_i_k``
+
+where ``start(i,k)`` is the earliest gap on PE ``k`` at or after the data
+ready time ``DRT(i,k)`` obtained by *tentatively* scheduling the task's
+receiving transactions on the link tables (Fig. 3), restoring the tables
+afterwards.  Selection then follows the paper:
+
+* if some ready task cannot meet its budgeted deadline anywhere
+  (``min_F(i) > BD_i``), the most violating one is scheduled on its
+  fastest PE (performance rescue);
+* otherwise each task's BD-feasible PE list ``L_i`` is formed, the
+  energy regret ``δE_i = E2_i - E1_i`` is computed (``E`` includes the
+  communication energy of the task's inputs, whose senders are already
+  placed), and the task with the largest regret is committed to its
+  minimum-energy PE.
+
+A task with exactly one BD-feasible PE gets ``δE = +inf`` — deferring a
+forced placement risks losing it, so it is treated as maximal regret
+(interpretation decision; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.arch.acg import ACG
+from repro.core.comm import schedule_incoming_transactions
+from repro.core.slack import TaskBudget, WeightPolicy, compute_budgets, weight_var_product
+from repro.ctg.graph import CTG
+from repro.errors import SchedulingError
+from repro.schedule.entries import CommPlacement, TaskPlacement
+from repro.schedule.overlay import ResourceTables
+from repro.schedule.schedule import Schedule
+from repro.schedule.table import EPS
+
+
+@dataclass
+class EASConfig:
+    """Knobs of the EAS algorithm.
+
+    Attributes:
+        weight_policy: Step-1 slack weight function (paper default:
+            ``VAR_e * VAR_r``).
+        include_comm_in_slack: include mean input-transfer delay in the
+            Step-1 path lengths (paper default: off).
+        repair: run Step 3 (search-and-repair) when the level-based
+            schedule misses deadlines.
+        max_repair_rounds: safety bound on LTS/GTM alternations.
+        contention_aware: schedule transactions against real link
+            occupancy (the paper's approach).  When False the scheduler
+            uses the fixed-delay communication model the paper's
+            introduction criticises; the resulting timing is
+            optimistic and its link usage may overlap — only the
+            contention ablation should turn this off.
+    """
+
+    weight_policy: WeightPolicy = weight_var_product
+    include_comm_in_slack: bool = False
+    repair: bool = True
+    max_repair_rounds: int = 64
+    contention_aware: bool = True
+
+
+@dataclass
+class _Evaluation:
+    """One F(i,k) evaluation result."""
+
+    task: str
+    pe: int
+    start: float
+    finish: float
+    drt: float
+    energy: float
+
+
+class LevelBasedScheduler:
+    """Step 2 of EAS: energy-aware list scheduling steered by budgets."""
+
+    def __init__(
+        self,
+        ctg: CTG,
+        acg: ACG,
+        budgets: Mapping[str, TaskBudget],
+        algorithm_name: str = "eas-base",
+        contention_aware: bool = True,
+    ) -> None:
+        self.ctg = ctg
+        self.acg = acg
+        self.budgets = budgets
+        self.algorithm_name = algorithm_name
+        self.contention_aware = contention_aware
+        self._tables = ResourceTables()
+        self._placements: Dict[str, TaskPlacement] = {}
+
+    # -- F(i,k) evaluation --------------------------------------------------
+
+    def _evaluate(self, task_name: str, pe_index: int) -> Optional[_Evaluation]:
+        """Compute ``F(i,k)``; ``None`` when the PE type is infeasible."""
+        task = self.ctg.task(task_name)
+        pe = self.acg.pe(pe_index)
+        cost = task.cost_on(pe.type_name)
+        if not cost.feasible:
+            return None
+        overlay = self._tables.overlay()
+        drt, comms = schedule_incoming_transactions(
+            self.ctg,
+            self.acg,
+            task_name,
+            pe_index,
+            self._placements,
+            overlay,
+            contention_aware=self.contention_aware,
+        )
+        start = overlay.find_earliest(pe_index, drt, cost.time)
+        overlay.drop()  # the paper's table restore
+        comm_energy = sum(c.energy for c in comms)
+        return _Evaluation(
+            task=task_name,
+            pe=pe_index,
+            start=start,
+            finish=start + cost.time,
+            drt=drt,
+            energy=cost.energy + comm_energy,
+        )
+
+    def _commit(self, task_name: str, pe_index: int, schedule: Schedule) -> TaskPlacement:
+        """Re-run the evaluation for the chosen pair and make it permanent."""
+        task = self.ctg.task(task_name)
+        pe = self.acg.pe(pe_index)
+        cost = task.cost_on(pe.type_name)
+        overlay = self._tables.overlay()
+        drt, comms = schedule_incoming_transactions(
+            self.ctg,
+            self.acg,
+            task_name,
+            pe_index,
+            self._placements,
+            overlay,
+            contention_aware=self.contention_aware,
+        )
+        start = overlay.find_earliest(pe_index, drt, cost.time)
+        overlay.commit()
+        self._tables.reserve(pe_index, start, start + cost.time)
+        placement = TaskPlacement(
+            task=task_name,
+            pe=pe_index,
+            start=start,
+            finish=start + cost.time,
+            energy=cost.energy,
+        )
+        self._placements[task_name] = placement
+        schedule.place_task(placement)
+        for comm in comms:
+            schedule.place_comm(comm)
+        return placement
+
+    # -- selection ------------------------------------------------------------
+
+    def _select(
+        self, evaluations: Dict[str, Dict[int, _Evaluation]]
+    ) -> Tuple[str, int]:
+        """Apply the paper's Step-2 selection rules to the current RTL."""
+        min_f: Dict[str, _Evaluation] = {}
+        for task_name, per_pe in evaluations.items():
+            if not per_pe:
+                raise SchedulingError(f"task {task_name!r} has no feasible PE")
+            min_f[task_name] = min(
+                per_pe.values(), key=lambda ev: (ev.finish, ev.energy, ev.pe)
+            )
+
+        # Rule 3: violating tasks go first, fastest PE wins.
+        violations = [
+            (min_f[t].finish - self.budgets[t].budgeted_deadline, t)
+            for t in evaluations
+            if min_f[t].finish > self.budgets[t].budgeted_deadline + EPS
+        ]
+        if violations:
+            violations.sort(key=lambda item: (-item[0], item[1]))
+            chosen = violations[0][1]
+            return chosen, min_f[chosen].pe
+
+        # Rule 4: all tasks can meet their BD somewhere; maximise regret.
+        # Ties: tighter (smaller) BD first, then task name, for determinism.
+        best_task: Optional[str] = None
+        best_key: Tuple[float, float] = (-math.inf, -math.inf)
+        best_pe = -1
+        for task_name in sorted(evaluations):
+            per_pe = evaluations[task_name]
+            bd = self.budgets[task_name].budgeted_deadline
+            feasible = [ev for ev in per_pe.values() if ev.finish <= bd + EPS]
+            feasible.sort(key=lambda ev: (ev.energy, ev.finish, ev.pe))
+            e1 = feasible[0]
+            delta = math.inf if len(feasible) == 1 else feasible[1].energy - e1.energy
+            key = (delta, -bd)
+            if best_task is None or key > best_key:
+                best_task = task_name
+                best_key = key
+                best_pe = e1.pe
+        assert best_task is not None
+        return best_task, best_pe
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self) -> Schedule:
+        """Schedule every task; returns a structurally valid schedule."""
+        schedule = Schedule(self.ctg, self.acg, algorithm=self.algorithm_name)
+        remaining_preds: Dict[str, int] = {
+            name: self.ctg.in_degree(name) for name in self.ctg.task_names()
+        }
+        ready = sorted(name for name, n in remaining_preds.items() if n == 0)
+
+        while ready:
+            evaluations: Dict[str, Dict[int, _Evaluation]] = {}
+            for task_name in ready:
+                per_pe: Dict[int, _Evaluation] = {}
+                for pe in self.acg.pes:
+                    evaluation = self._evaluate(task_name, pe.index)
+                    if evaluation is not None:
+                        per_pe[pe.index] = evaluation
+                evaluations[task_name] = per_pe
+
+            chosen_task, chosen_pe = self._select(evaluations)
+            self._commit(chosen_task, chosen_pe, schedule)
+
+            ready.remove(chosen_task)
+            for succ in self.ctg.successors(chosen_task):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+
+        if len(self._placements) != self.ctg.n_tasks:
+            raise SchedulingError(
+                "level-based scheduling finished without placing every task"
+            )
+        return schedule
+
+
+def eas_base_schedule(
+    ctg: CTG,
+    acg: ACG,
+    config: Optional[EASConfig] = None,
+) -> Schedule:
+    """EAS without Step 3 (the paper's *EAS-base*).
+
+    The result always satisfies the structural invariants but may miss
+    deadlines on tightly constrained inputs.
+    """
+    cfg = config or EASConfig()
+    started = time.perf_counter()
+    budgets = compute_budgets(
+        ctg,
+        acg,
+        weight_policy=cfg.weight_policy,
+        include_comm=cfg.include_comm_in_slack,
+    )
+    schedule = LevelBasedScheduler(
+        ctg,
+        acg,
+        budgets,
+        algorithm_name="eas-base" if cfg.contention_aware else "eas-base-nocontention",
+        contention_aware=cfg.contention_aware,
+    ).run()
+    schedule.runtime_seconds = time.perf_counter() - started
+    return schedule
+
+
+def eas_schedule(
+    ctg: CTG,
+    acg: ACG,
+    config: Optional[EASConfig] = None,
+) -> Schedule:
+    """The full EAS algorithm (Steps 1-3).
+
+    Runs the level-based scheduler and, when the result misses deadlines
+    and ``config.repair`` is on, post-processes it with search-and-repair
+    (local task swapping + global task migration).
+    """
+    from repro.core.repair import RepairConfig, search_and_repair
+
+    cfg = config or EASConfig()
+    started = time.perf_counter()
+    schedule = eas_base_schedule(ctg, acg, cfg)
+    if cfg.repair and schedule.deadline_misses():
+        repaired, _report = search_and_repair(
+            schedule, RepairConfig(max_rounds=cfg.max_repair_rounds)
+        )
+        repaired.algorithm = "eas"
+        repaired.runtime_seconds = time.perf_counter() - started
+        return repaired
+    schedule.algorithm = "eas"
+    schedule.runtime_seconds = time.perf_counter() - started
+    return schedule

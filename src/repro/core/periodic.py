@@ -1,0 +1,163 @@
+"""Periodic (pipelined) execution analysis.
+
+The paper's multimedia benchmarks are frame-based: the CTG is executed
+once per frame, forever, at the required frame rate (40 fps encoding =
+one instance every 25 000 us).  A static schedule for one instance can
+be *overlapped* with the next instances — iteration ``k`` shifted by
+``k * T`` — as long as no resource is claimed by two iterations at
+once.  This module answers the resulting throughput questions:
+
+* :func:`is_periodic_feasible` — can this exact schedule repeat every
+  ``T`` time units without any PE or link conflict between iterations?
+* :func:`resource_bound_period` — the absolute lower bound on ``T``
+  (the busiest resource's total occupancy; utilisation cannot exceed 1);
+* :func:`scan_min_period` — the smallest feasible ``T`` found by
+  scanning between the bound and the makespan (feasibility of modulo
+  folding is not monotone in ``T``, so a scan is the honest method);
+* :func:`throughput_report` — all of the above packaged, including the
+  sustainable frame rate.
+
+The check folds every busy interval modulo ``T``: iterations collide
+exactly when the folded images of two intervals on one resource
+overlap, so a single sorted sweep over the folded segments decides
+feasibility.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.errors import SchedulingError
+from repro.schedule.schedule import Schedule
+from repro.schedule.table import EPS
+
+Interval = Tuple[float, float]
+
+
+def _resource_intervals(schedule: Schedule) -> Dict[Hashable, List[Interval]]:
+    """Busy intervals per resource (PEs by index, links by Link object)."""
+    intervals: Dict[Hashable, List[Interval]] = {}
+    for placement in schedule.task_placements.values():
+        if placement.duration > 0:
+            intervals.setdefault(placement.pe, []).append(
+                (placement.start, placement.finish)
+            )
+    for comm in schedule.comm_placements.values():
+        if comm.duration > 0:
+            for link in comm.links:
+                intervals.setdefault(link, []).append((comm.start, comm.finish))
+    return intervals
+
+
+def _fold(interval: Interval, period: float) -> List[Interval]:
+    """Image of ``[start, end)`` under ``mod period`` as disjoint segments.
+
+    An interval longer than the period covers everything (infeasible by
+    construction); otherwise it folds into one segment, or two when it
+    wraps past a period boundary.
+    """
+    start, end = interval
+    length = end - start
+    if length >= period - EPS:
+        return [(0.0, period)]
+    offset = start % period
+    if offset + length <= period + EPS:
+        return [(offset, min(offset + length, period))]
+    return [(offset, period), (0.0, offset + length - period)]
+
+
+def is_periodic_feasible(schedule: Schedule, period: float) -> bool:
+    """Whether the schedule can repeat every ``period`` without conflicts.
+
+    Iteration ``k`` runs every placement shifted by ``k * period``; the
+    schedule is periodically feasible iff, per resource, the folded
+    busy segments are pairwise disjoint.
+    """
+    if period <= 0:
+        raise SchedulingError(f"period must be positive, got {period}")
+    for intervals in _resource_intervals(schedule).values():
+        segments: List[Interval] = []
+        for interval in intervals:
+            if interval[1] - interval[0] >= period - EPS:
+                return False
+            segments.extend(_fold(interval, period))
+        segments.sort()
+        for (s1, e1), (s2, e2) in zip(segments, segments[1:]):
+            if s2 < e1 - EPS:
+                return False
+    return True
+
+
+def resource_bound_period(schedule: Schedule) -> float:
+    """Lower bound on any feasible period: the busiest resource's load."""
+    worst = 0.0
+    for intervals in _resource_intervals(schedule).values():
+        busy = sum(e - s for s, e in intervals)
+        worst = max(worst, busy)
+    return worst
+
+
+def scan_min_period(
+    schedule: Schedule,
+    resolution: float = 0.0,
+    max_steps: int = 2_000,
+) -> float:
+    """Smallest feasible period found by scanning up from the bound.
+
+    Modulo-folding feasibility is not monotone in the period, so binary
+    search is unsound; this scans ``[bound, makespan]`` at
+    ``resolution`` granularity (default: span/1000) and returns the
+    first feasible value — the makespan itself is always feasible, so
+    the scan terminates.
+    """
+    bound = resource_bound_period(schedule)
+    makespan = schedule.makespan()
+    if makespan <= 0:
+        return 0.0
+    if bound <= 0:
+        return 0.0
+    if resolution <= 0:
+        resolution = max((makespan - bound) / 1000.0, makespan / 10_000.0)
+    period = bound
+    steps = 0
+    while period < makespan and steps < max_steps:
+        if is_periodic_feasible(schedule, period):
+            return period
+        period += resolution
+        steps += 1
+    return makespan
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Pipelined-execution characteristics of one schedule."""
+
+    makespan: float
+    bound_period: float
+    min_period: float
+    #: sustainable instances per time unit at the scanned period.
+    throughput: float
+    #: how much pipelining helps: makespan / min_period.
+    overlap_factor: float
+
+    def sustainable_rate(self, time_units_per_second: float) -> float:
+        """Frames per second given the schedule's time-unit scale."""
+        if self.min_period <= 0:
+            return math.inf
+        return time_units_per_second / self.min_period
+
+
+def throughput_report(schedule: Schedule, resolution: float = 0.0) -> ThroughputReport:
+    """Compute the full pipelined-throughput characterisation."""
+    makespan = schedule.makespan()
+    bound = resource_bound_period(schedule)
+    min_period = scan_min_period(schedule, resolution=resolution)
+    return ThroughputReport(
+        makespan=makespan,
+        bound_period=bound,
+        min_period=min_period,
+        throughput=(1.0 / min_period) if min_period > 0 else math.inf,
+        overlap_factor=(makespan / min_period) if min_period > 0 else 1.0,
+    )

@@ -1,0 +1,185 @@
+"""Deterministic schedule reconstruction from (mapping, per-PE orders).
+
+Search-and-repair (Step 3) explores moves in the space of task-to-PE
+mappings and per-PE execution orders; after every candidate move the
+timed schedule must be rebuilt from scratch with the same communication
+semantics as the constructive scheduler.  :func:`rebuild_schedule` does
+that: it list-schedules the tasks respecting (a) CTG precedence and
+(b) the prescribed order of tasks sharing a PE, placing each task's
+receiving transactions with the Fig. 3 communication scheduler.
+
+A candidate (mapping, orders) pair can be *infeasible*: a swap may order
+``a`` before ``b`` on one PE while ``b``'s descendants feed ``a``
+(a cross-PE cycle).  Rebuilds detect this and raise
+:class:`InfeasibleOrderError`, which the repair loop treats as a rejected
+move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.acg import ACG
+from repro.core.comm import schedule_incoming_transactions
+from repro.ctg.graph import CTG
+from repro.errors import InfeasibleOrderError, SchedulingError
+from repro.schedule.entries import TaskPlacement
+from repro.schedule.overlay import ResourceTables
+from repro.schedule.schedule import Schedule
+
+
+def rebuild_schedule(
+    ctg: CTG,
+    acg: ACG,
+    mapping: Mapping[str, int],
+    pe_orders: Mapping[int, Sequence[str]],
+    algorithm: str = "rebuild",
+) -> Schedule:
+    """Rebuild a timed schedule from a mapping and per-PE task orders.
+
+    Among the tasks eligible at each step (all predecessors placed *and*
+    first unplaced task in their PE's order), the one whose execution can
+    start earliest is committed first; this keeps the reconstruction
+    deterministic and packs resources greedily.
+
+    Raises:
+        InfeasibleOrderError: the orders deadlock against the precedence
+            constraints.
+        SchedulingError: the mapping assigns a task to an infeasible PE.
+    """
+    for name in ctg.task_names():
+        if name not in mapping:
+            raise SchedulingError(f"mapping misses task {name!r}")
+
+    # Validate the order tables: each PE's order must list exactly the
+    # tasks mapped to it.
+    expected: Dict[int, List[str]] = {pe.index: [] for pe in acg.pes}
+    for name, pe_index in mapping.items():
+        expected.setdefault(pe_index, []).append(name)
+    position: Dict[str, int] = {}
+    for pe_index, order in pe_orders.items():
+        for pos, name in enumerate(order):
+            if mapping.get(name) != pe_index:
+                raise SchedulingError(
+                    f"order of PE {pe_index} lists {name!r}, mapped to PE {mapping.get(name)}"
+                )
+            position[name] = pos
+    for pe_index, names in expected.items():
+        order = list(pe_orders.get(pe_index, ()))
+        if sorted(order) != sorted(names):
+            raise SchedulingError(
+                f"PE {pe_index} order {order} does not match its mapped tasks {sorted(names)}"
+            )
+
+    schedule = Schedule(ctg, acg, algorithm=algorithm)
+    tables = ResourceTables()
+    placements: Dict[str, TaskPlacement] = {}
+    next_slot: Dict[int, int] = {pe_index: 0 for pe_index in expected}
+    remaining_preds: Dict[str, int] = {
+        name: ctg.in_degree(name) for name in ctg.task_names()
+    }
+    unplaced = set(ctg.task_names())
+
+    while unplaced:
+        eligible = _eligible_tasks(
+            ctg, mapping, pe_orders, next_slot, remaining_preds, unplaced
+        )
+        if not eligible:
+            raise InfeasibleOrderError(
+                "per-PE orders deadlock against CTG precedence; "
+                f"{len(unplaced)} tasks stuck"
+            )
+        best: Optional[Tuple[float, float, str]] = None
+        for name in eligible:
+            start, finish = _probe(ctg, acg, name, mapping[name], placements, tables)
+            key = (start, finish, name)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        chosen = best[2]
+        _commit(ctg, acg, chosen, mapping[chosen], placements, tables, schedule)
+        unplaced.discard(chosen)
+        next_slot[mapping[chosen]] += 1
+        for succ in ctg.successors(chosen):
+            remaining_preds[succ] -= 1
+
+    return schedule
+
+
+def _eligible_tasks(
+    ctg: CTG,
+    mapping: Mapping[str, int],
+    pe_orders: Mapping[int, Sequence[str]],
+    next_slot: Mapping[int, int],
+    remaining_preds: Mapping[str, int],
+    unplaced: set,
+) -> List[str]:
+    """Tasks that are next on their PE and whose predecessors are placed."""
+    eligible = []
+    for pe_index, order in pe_orders.items():
+        slot = next_slot[pe_index]
+        if slot < len(order):
+            name = order[slot]
+            if name in unplaced and remaining_preds[name] == 0:
+                eligible.append(name)
+    return eligible
+
+
+def _probe(
+    ctg: CTG,
+    acg: ACG,
+    task_name: str,
+    pe_index: int,
+    placements: Dict[str, TaskPlacement],
+    tables: ResourceTables,
+) -> Tuple[float, float]:
+    """Tentative (start, finish) of placing ``task_name`` now."""
+    cost = _cost(ctg, acg, task_name, pe_index)
+    overlay = tables.overlay()
+    drt, _comms = schedule_incoming_transactions(
+        ctg, acg, task_name, pe_index, placements, overlay
+    )
+    start = overlay.find_earliest(pe_index, drt, cost.time)
+    overlay.drop()
+    return start, start + cost.time
+
+
+def _commit(
+    ctg: CTG,
+    acg: ACG,
+    task_name: str,
+    pe_index: int,
+    placements: Dict[str, TaskPlacement],
+    tables: ResourceTables,
+    schedule: Schedule,
+) -> None:
+    cost = _cost(ctg, acg, task_name, pe_index)
+    overlay = tables.overlay()
+    drt, comms = schedule_incoming_transactions(
+        ctg, acg, task_name, pe_index, placements, overlay
+    )
+    start = overlay.find_earliest(pe_index, drt, cost.time)
+    overlay.commit()
+    tables.reserve(pe_index, start, start + cost.time)
+    placement = TaskPlacement(
+        task=task_name,
+        pe=pe_index,
+        start=start,
+        finish=start + cost.time,
+        energy=cost.energy,
+    )
+    placements[task_name] = placement
+    schedule.place_task(placement)
+    for comm in comms:
+        schedule.place_comm(comm)
+
+
+def _cost(ctg: CTG, acg: ACG, task_name: str, pe_index: int):
+    task = ctg.task(task_name)
+    pe_type = acg.pe(pe_index).type_name
+    cost = task.cost_on(pe_type)
+    if not cost.feasible:
+        raise SchedulingError(
+            f"task {task_name!r} mapped to PE {pe_index} of infeasible type {pe_type!r}"
+        )
+    return cost

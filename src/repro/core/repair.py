@@ -1,0 +1,364 @@
+"""EAS Step 3: search and repair (paper Sec. 5 Step 3, Fig. 4).
+
+When the level-based schedule misses deadlines, two greedy move kinds
+iteratively reduce the misses:
+
+* **Local task swapping (LTS):** a *critical* task swaps execution order
+  with a *non-critical* task scheduled earlier on the same PE.  Mapping
+  is untouched, so neither computation nor communication energy changes;
+  only timing moves.
+* **Global task migration (GTM):** a critical task migrates to another
+  PE; candidate destinations are tried in increasing order of the
+  (computation + incident communication) energy the task would cost
+  there, so the cheapest repair in energy terms is found first.
+
+A task is critical when it misses its own deadline or is an ancestor of
+a task that does.  A move is accepted only if the miss metric — the pair
+``(number of missed deadlines, total tardiness)`` compared
+lexicographically — strictly decreases; otherwise it is rolled back
+(Fig. 4's accept/reject boxes).  Strict decrease plus a round bound make
+the procedure converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
+from repro.core.rebuild import rebuild_schedule
+from repro.errors import InfeasibleOrderError, SchedulingError
+from repro.schedule.schedule import Schedule
+
+MissMetric = Tuple[int, float]
+
+
+@dataclass
+class RepairConfig:
+    """Bounds and policies of the search-and-repair loop."""
+
+    max_rounds: int = 64
+    #: maximum GTM migrations attempted per round before giving up.
+    max_migrations_per_round: int = 256
+
+
+@dataclass
+class RepairReport:
+    """What the repair loop did (for the Sec. 6.1 runtime discussion)."""
+
+    rounds: int = 0
+    swaps_tried: int = 0
+    swaps_accepted: int = 0
+    migrations_tried: int = 0
+    migrations_accepted: int = 0
+    initial_misses: int = 0
+    final_misses: int = 0
+    initial_energy: float = 0.0
+    final_energy: float = 0.0
+
+    @property
+    def fixed_all(self) -> bool:
+        return self.final_misses == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairReport(rounds={self.rounds}, swaps={self.swaps_accepted}/"
+            f"{self.swaps_tried}, migrations={self.migrations_accepted}/"
+            f"{self.migrations_tried}, misses {self.initial_misses}->{self.final_misses})"
+        )
+
+
+def miss_metric(schedule: Schedule) -> MissMetric:
+    """(number of deadline misses, total tardiness) — lower is better."""
+    return (len(schedule.deadline_misses()), schedule.total_tardiness())
+
+
+def critical_tasks(schedule: Schedule) -> Set[str]:
+    """Tasks that miss their deadline or feed a task that does.
+
+    Matches the paper's note that a critical task "may not necessarily
+    have a specified deadline, but it causes one of its descendant tasks
+    to miss its deadline".
+    """
+    critical: Set[str] = set()
+    for miss in schedule.deadline_misses():
+        critical.add(miss)
+        critical.update(schedule.ctg.ancestors(miss))
+    return critical
+
+
+def search_and_repair(
+    schedule: Schedule,
+    config: Optional[RepairConfig] = None,
+) -> Tuple[Schedule, RepairReport]:
+    """Fig. 4's repair flow: alternate LTS passes and GTM moves.
+
+    Returns the best schedule found (the input schedule itself when no
+    move helps) and a :class:`RepairReport`.  The returned schedule may
+    still miss deadlines if the instance is simply infeasible.
+    """
+    cfg = config or RepairConfig()
+    report = RepairReport()
+    current = schedule
+    metric = miss_metric(current)
+    report.initial_misses = metric[0]
+    report.initial_energy = current.total_energy()
+
+    mapping = dict(current.mapping())
+    orders = {pe: list(tasks) for pe, tasks in current.pe_order().items()}
+
+    while metric[0] > 0 and report.rounds < cfg.max_rounds:
+        report.rounds += 1
+        current, mapping, orders, metric, lts_improved = _lts_pass(
+            current, mapping, orders, metric, report
+        )
+        if metric[0] == 0:
+            break
+        current, mapping, orders, metric, gtm_improved = _gtm_pass(
+            current, mapping, orders, metric, report, cfg
+        )
+        if not lts_improved and not gtm_improved:
+            break  # fixed point: no move helps
+
+    report.final_misses = metric[0]
+    report.final_energy = current.total_energy()
+    return current, report
+
+
+# -- local task swapping -------------------------------------------------------
+
+
+def _lts_pass(
+    schedule: Schedule,
+    mapping: Dict[str, int],
+    orders: Dict[int, List[str]],
+    metric: MissMetric,
+    report: RepairReport,
+) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
+    """One LTS sweep: try to pull every critical task earlier on its PE."""
+    improved_any = False
+    progress = True
+    while progress and metric[0] > 0:
+        progress = False
+        critical = critical_tasks(schedule)
+        for task in _criticality_order(schedule, critical):
+            pe = mapping[task]
+            order = orders[pe]
+            idx = order.index(task)
+            # Try swapping with non-critical tasks scheduled earlier,
+            # nearest first (smallest perturbation first).
+            for j in range(idx - 1, -1, -1):
+                other = order[j]
+                if other in critical:
+                    continue
+                report.swaps_tried += 1
+                candidate_order = list(order)
+                candidate_order[idx], candidate_order[j] = (
+                    candidate_order[j],
+                    candidate_order[idx],
+                )
+                candidate_orders = dict(orders)
+                candidate_orders[pe] = candidate_order
+                rebuilt = _try_rebuild(schedule, mapping, candidate_orders)
+                if rebuilt is None:
+                    continue
+                candidate_metric = miss_metric(rebuilt)
+                if candidate_metric < metric:
+                    orders[pe] = candidate_order
+                    schedule = rebuilt
+                    metric = candidate_metric
+                    report.swaps_accepted += 1
+                    improved_any = True
+                    progress = True
+                    break  # re-derive criticality from the new schedule
+            if progress:
+                break
+    return schedule, mapping, orders, metric, improved_any
+
+
+# -- global task migration ------------------------------------------------------
+
+
+def _gtm_pass(
+    schedule: Schedule,
+    mapping: Dict[str, int],
+    orders: Dict[int, List[str]],
+    metric: MissMetric,
+    report: RepairReport,
+    cfg: RepairConfig,
+) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
+    """Attempt one accepted migration (Fig. 4 returns to LTS after it).
+
+    Two sweeps over the candidate space, each bounded by
+    ``cfg.max_migrations_per_round`` attempts:
+
+    1. the paper's ordering — critical tasks by urgency, destinations by
+       increasing (computation + communication) energy, so the cheapest
+       fix in energy terms is found first;
+    2. a *load-relief* fallback — candidates re-ranked to move tasks off
+       the busiest PEs onto the idlest ones.  Pure energy ordering can
+       exhaust its attempt budget on hopeless moves when many tasks are
+       critical; the relief ordering targets the capacity bottleneck
+       that usually causes the miss (our addition; the paper does not
+       specify behaviour when the energy-ordered search fails).
+    """
+    critical = _criticality_order(schedule, critical_tasks(schedule))
+
+    energy_sweep = (
+        (task, dest_pe)
+        for task in critical
+        for dest_pe in _destinations_by_energy(schedule, task, mapping)
+    )
+    result = _try_migrations(
+        schedule, mapping, orders, metric, report, cfg, energy_sweep
+    )
+    if result is not None:
+        return result
+
+    relief_sweep = _load_relief_candidates(schedule, mapping, critical)
+    result = _try_migrations(
+        schedule, mapping, orders, metric, report, cfg, relief_sweep
+    )
+    if result is not None:
+        return result
+    return schedule, mapping, orders, metric, False
+
+
+def _try_migrations(
+    schedule: Schedule,
+    mapping: Dict[str, int],
+    orders: Dict[int, List[str]],
+    metric: MissMetric,
+    report: RepairReport,
+    cfg: RepairConfig,
+    candidates,
+) -> Optional[Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]]:
+    """Try candidate (task, dest) migrations; return on first acceptance."""
+    attempts = 0
+    for task, dest_pe in candidates:
+        source_pe = mapping[task]
+        if dest_pe == source_pe:
+            continue
+        if attempts >= cfg.max_migrations_per_round:
+            return None
+        attempts += 1
+        report.migrations_tried += 1
+        candidate_mapping = dict(mapping)
+        candidate_mapping[task] = dest_pe
+        candidate_orders = {pe: list(names) for pe, names in orders.items()}
+        candidate_orders[source_pe].remove(task)
+        _insert_by_start(candidate_orders.setdefault(dest_pe, []), task, schedule)
+        rebuilt = _try_rebuild(schedule, candidate_mapping, candidate_orders)
+        if rebuilt is None:
+            continue
+        candidate_metric = miss_metric(rebuilt)
+        if candidate_metric < metric:
+            report.migrations_accepted += 1
+            return rebuilt, candidate_mapping, candidate_orders, candidate_metric, True
+    return None
+
+
+def _load_relief_candidates(
+    schedule: Schedule,
+    mapping: Dict[str, int],
+    critical: List[str],
+):
+    """(task, dest) pairs moving work from the busiest PEs to the idlest.
+
+    Tasks are grouped by the busy time of their current PE (most loaded
+    first, then by criticality order within a PE); destinations are
+    ranked by ascending busy time so idle tiles are tried first.
+    """
+    acg = schedule.acg
+    ctg = schedule.ctg
+    load: Dict[int, float] = {pe.index: 0.0 for pe in acg.pes}
+    for placement in schedule.task_placements.values():
+        load[placement.pe] += placement.duration
+
+    ranked_tasks = sorted(
+        critical, key=lambda t: (-load[mapping[t]], critical.index(t))
+    )
+    dest_order = sorted(load, key=lambda pe: load[pe])
+    for task in ranked_tasks:
+        task_obj = ctg.task(task)
+        for dest_pe in dest_order:
+            if task_obj.cost_on(acg.pe(dest_pe).type_name).feasible:
+                yield task, dest_pe
+
+
+def _destinations_by_energy(
+    schedule: Schedule, task: str, mapping: Dict[str, int]
+) -> List[int]:
+    """Candidate PEs in increasing (computation + communication) energy.
+
+    The communication term counts the task's incident edges against the
+    current mapping of its neighbours — the paper's "increasing order of
+    the execution and communication energy if that task is to be migrated
+    onto the corresponding PEs".
+    """
+    ctg, acg = schedule.ctg, schedule.acg
+    task_obj = ctg.task(task)
+    ranked: List[Tuple[float, int]] = []
+    for pe in acg.pes:
+        cost = task_obj.cost_on(pe.type_name)
+        if not cost.feasible:
+            continue
+        energy = (
+            cost.energy
+            + incoming_comm_energy(ctg, acg, task, pe.index, mapping)
+            + outgoing_comm_energy(ctg, acg, task, pe.index, mapping)
+        )
+        ranked.append((energy, pe.index))
+    ranked.sort()
+    return [pe_index for _energy, pe_index in ranked]
+
+
+def _insert_by_start(order: List[str], task: str, schedule: Schedule) -> None:
+    """Insert a migrated task into a PE order at its old temporal position."""
+    start = schedule.placement(task).start
+    for i, name in enumerate(order):
+        if schedule.placement(name).start > start:
+            order.insert(i, task)
+            return
+    order.append(task)
+
+
+def _criticality_order(schedule: Schedule, critical: Set[str]) -> List[str]:
+    """Critical tasks, most urgent first.
+
+    Urgency is the tardiness of the worst descendant miss the task
+    contributes to; direct misses come before mere ancestors, bigger
+    tardiness before smaller.
+    """
+    misses = schedule.deadline_misses()
+    tardiness = {
+        name: schedule.placement(name).finish - schedule.ctg.task(name).deadline
+        for name in misses
+    }
+    miss_ancestors = {m: schedule.ctg.ancestors(m) for m in misses}
+
+    def urgency(name: str) -> Tuple[int, float, str]:
+        own = tardiness.get(name)
+        if own is not None:
+            return (0, -own, name)
+        worst = max(
+            (tardiness[m] for m in misses if name in miss_ancestors[m]),
+            default=0.0,
+        )
+        return (1, -worst, name)
+
+    return sorted(critical, key=urgency)
+
+
+def _try_rebuild(
+    schedule: Schedule,
+    mapping: Dict[str, int],
+    orders: Dict[int, List[str]],
+) -> Optional[Schedule]:
+    """Rebuild, treating infeasible orders as a rejected move."""
+    try:
+        return rebuild_schedule(
+            schedule.ctg, schedule.acg, mapping, orders, algorithm=schedule.algorithm
+        )
+    except InfeasibleOrderError:
+        return None

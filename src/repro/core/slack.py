@@ -1,0 +1,229 @@
+"""EAS Step 1: budget slack allocation (paper Sec. 5, Step 1).
+
+For each task three platform statistics are computed — ``VAR_e`` (energy
+variance across PEs), ``VAR_r`` (execution-time variance) and ``M_t``
+(mean execution time) — and a weight ``W_t = VAR_e * VAR_r``.  The slack
+of every deadline-constrained path is then split among the path's tasks
+proportionally to their weights, giving each task a **budgeted deadline
+(BD)**: the internal per-task deadline the level-based scheduler steers
+by.  High-weight tasks (whose PE choice matters most) receive more slack
+and therefore more placement freedom.
+
+Generalisation to DAGs (the paper shows only a chain): for every deadline
+task ``t_d`` we run a longest-mean-path DP over the ancestor cone of
+``t_d``.  The binding path through a task ``i`` is the max-mean prefix
+into ``i`` joined with the max-mean suffix from ``i`` to ``t_d``; the
+slack of *that* path is distributed along it by weight, and ``BD(i)`` is
+the prefix sum at ``i``.  The final budget is the minimum over all
+deadline tasks reachable from ``i``.  On a chain this reduces exactly to
+the paper's Fig. 2 example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.arch.acg import ACG
+from repro.ctg.graph import CTG
+from repro.ctg.task import TaskStats
+from repro.errors import SchedulingError
+
+WeightPolicy = Callable[[TaskStats], float]
+
+
+def weight_var_product(stats: TaskStats) -> float:
+    """The paper's weight: ``W = VAR_e * VAR_r``."""
+    return stats.var_energy * stats.var_time
+
+
+def weight_var_energy(stats: TaskStats) -> float:
+    """Ablation variant: energy variance only."""
+    return stats.var_energy
+
+
+def weight_var_time(stats: TaskStats) -> float:
+    """Ablation variant: execution-time variance only."""
+    return stats.var_time
+
+
+def weight_uniform(stats: TaskStats) -> float:
+    """Ablation variant: uniform slack split (ignores heterogeneity)."""
+    return 1.0
+
+
+WEIGHT_POLICIES: Dict[str, WeightPolicy] = {
+    "var-product": weight_var_product,
+    "var-energy": weight_var_energy,
+    "var-time": weight_var_time,
+    "uniform": weight_uniform,
+}
+
+
+@dataclass
+class TaskBudget:
+    """Step-1 outputs for one task."""
+
+    task: str
+    mean_time: float
+    weight: float
+    budgeted_deadline: float
+    stats: TaskStats
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskBudget({self.task}, M={self.mean_time:g}, W={self.weight:g}, "
+            f"BD={self.budgeted_deadline:g})"
+        )
+
+
+def compute_budgets(
+    ctg: CTG,
+    acg: ACG,
+    weight_policy: WeightPolicy = weight_var_product,
+    include_comm: bool = False,
+) -> Dict[str, TaskBudget]:
+    """Compute the budgeted deadline of every task.
+
+    Args:
+        ctg: the application graph.
+        acg: the platform (supplies the PE-instance list for the
+            statistics).
+        weight_policy: maps :class:`TaskStats` to the slack weight
+            ``W_t``; defaults to the paper's variance product.
+        include_comm: when True, each task's path contribution also
+            includes the mean delay of its largest incoming transfer — a
+            pessimism knob; the paper's example budgets execution time
+            only (the default).
+
+    Returns:
+        task name -> :class:`TaskBudget`; tasks from which no deadline is
+        reachable get ``budgeted_deadline = inf``.
+    """
+    pe_types = acg.pe_type_names()
+    stats: Dict[str, TaskStats] = {}
+    mean_time: Dict[str, float] = {}
+    weight: Dict[str, float] = {}
+    for task in ctg.tasks():
+        s = task.stats_over(pe_types)
+        stats[task.name] = s
+        mean_time[task.name] = s.mean_time
+        weight[task.name] = weight_policy(s)
+        if weight[task.name] < 0:
+            raise SchedulingError(f"weight policy returned negative weight for {task.name!r}")
+
+    path_value = dict(mean_time)
+    if include_comm:
+        for name in ctg.task_names():
+            in_edges = ctg.in_edges(name)
+            if in_edges:
+                worst = max(
+                    ctg_edge.volume / acg.link_bandwidth for ctg_edge in in_edges
+                )
+                path_value[name] = path_value[name] + worst
+
+    topo = ctg.topological_order()
+    budgets: Dict[str, float] = {name: math.inf for name in topo}
+
+    for deadline_task in ctg.deadline_tasks():
+        deadline = ctg.task(deadline_task).deadline
+        cone = ctg.ancestors(deadline_task)
+        cone.add(deadline_task)
+        up_m, up_w = _paired_forward(ctg, topo, cone, path_value, weight)
+        down_m, down_w = _paired_backward(ctg, topo, cone, path_value, weight)
+        for name in cone:
+            total_m = up_m[name] + down_m[name] - path_value[name]
+            total_w = up_w[name] + down_w[name] - weight[name]
+            slack = deadline - total_m
+            if total_w > 0:
+                share = up_w[name] / total_w
+            elif total_m > 0:
+                # Degenerate all-zero weights: fall back to time-proportional.
+                share = up_m[name] / total_m
+            else:
+                share = 1.0
+            bd = up_m[name] + slack * share
+            if bd < budgets[name]:
+                budgets[name] = bd
+
+    # Final consistency pass: a task must finish early enough for every
+    # successor to still complete within its own budget, i.e.
+    # ``BD(i) <= BD(j) - M_j`` along every edge.  The per-deadline DP can
+    # violate this on DAGs where the max-mean path into a task carries a
+    # different weight mass than its successor's (the chain case is
+    # always consistent, so the paper's example is unaffected).
+    for name in reversed(topo):
+        for succ in ctg.successors(name):
+            candidate = budgets[succ] - mean_time[succ]
+            if candidate < budgets[name]:
+                budgets[name] = candidate
+
+    return {
+        name: TaskBudget(
+            task=name,
+            mean_time=mean_time[name],
+            weight=weight[name],
+            budgeted_deadline=budgets[name],
+            stats=stats[name],
+        )
+        for name in topo
+    }
+
+
+def _paired_forward(
+    ctg: CTG,
+    topo: Sequence[str],
+    cone: set,
+    value: Dict[str, float],
+    weight: Dict[str, float],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Longest-value prefix DP carrying the weight sum of the argmax path.
+
+    ``up_m[i]`` is the largest value-sum over paths from any source to
+    ``i`` inclusive (within the cone); ``up_w[i]`` is the weight-sum along
+    that same path (ties broken toward larger weight-sum, so slack shares
+    stay well defined).
+    """
+    up_m: Dict[str, float] = {}
+    up_w: Dict[str, float] = {}
+    for name in topo:
+        if name not in cone:
+            continue
+        best_m = 0.0
+        best_w = 0.0
+        for pred in ctg.predecessors(name):
+            if pred not in cone:
+                continue
+            cand_m, cand_w = up_m[pred], up_w[pred]
+            if cand_m > best_m or (cand_m == best_m and cand_w > best_w):
+                best_m, best_w = cand_m, cand_w
+        up_m[name] = best_m + value[name]
+        up_w[name] = best_w + weight[name]
+    return up_m, up_w
+
+
+def _paired_backward(
+    ctg: CTG,
+    topo: Sequence[str],
+    cone: set,
+    value: Dict[str, float],
+    weight: Dict[str, float],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Mirror of :func:`_paired_forward` toward the deadline task."""
+    down_m: Dict[str, float] = {}
+    down_w: Dict[str, float] = {}
+    for name in reversed(list(topo)):
+        if name not in cone:
+            continue
+        best_m = 0.0
+        best_w = 0.0
+        for succ in ctg.successors(name):
+            if succ not in cone:
+                continue
+            cand_m, cand_w = down_m[succ], down_w[succ]
+            if cand_m > best_m or (cand_m == best_m and cand_w > best_w):
+                best_m, best_w = cand_m, cand_w
+        down_m[name] = best_m + value[name]
+        down_w[name] = best_w + weight[name]
+    return down_m, down_w

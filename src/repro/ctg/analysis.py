@@ -1,0 +1,146 @@
+"""Graph analyses shared by the schedulers.
+
+These are platform-parameterised: costs are reduced to per-task scalars
+(mean execution time over the platform's PE instances) before any path
+arithmetic, exactly as the paper's slack-budgeting step does with ``M_t``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ctg.graph import CTG
+
+
+def task_levels(ctg: CTG) -> Dict[str, int]:
+    """Topological level of each task (sources are level 0).
+
+    The level of a task is one more than the maximum level of its
+    predecessors; it is the index of the wave in which a level-based
+    scheduler could first consider the task.
+    """
+    levels: Dict[str, int] = {}
+    for name in ctg.topological_order():
+        preds = ctg.predecessors(name)
+        levels[name] = 0 if not preds else 1 + max(levels[p] for p in preds)
+    return levels
+
+
+def mean_exec_times(ctg: CTG, pe_types: Sequence[str]) -> Dict[str, float]:
+    """``M_t`` for every task: mean execution time over the PE instances."""
+    return {t.name: t.stats_over(pe_types).mean_time for t in ctg.tasks()}
+
+
+def longest_mean_path_into(
+    ctg: CTG,
+    values: Mapping[str, float],
+    restrict: Optional[set] = None,
+) -> Dict[str, float]:
+    """Longest value-sum over paths from any source up to and including each task.
+
+    ``values`` gives the per-task path contribution (e.g. mean execution
+    time).  When ``restrict`` is given, only tasks in that set participate
+    (used to confine the DP to the ancestor cone of one deadline task).
+    """
+    result: Dict[str, float] = {}
+    for name in ctg.topological_order():
+        if restrict is not None and name not in restrict:
+            continue
+        preds = [p for p in ctg.predecessors(name) if restrict is None or p in restrict]
+        best = max((result[p] for p in preds), default=0.0)
+        result[name] = best + values[name]
+    return result
+
+
+def longest_mean_path_from(
+    ctg: CTG,
+    values: Mapping[str, float],
+    restrict: Optional[set] = None,
+) -> Dict[str, float]:
+    """Longest value-sum over paths from each task (inclusive) to any sink."""
+    result: Dict[str, float] = {}
+    for name in reversed(ctg.topological_order()):
+        if restrict is not None and name not in restrict:
+            continue
+        succs = [s for s in ctg.successors(name) if restrict is None or s in restrict]
+        best = max((result[s] for s in succs), default=0.0)
+        result[name] = best + values[name]
+    return result
+
+
+def critical_path_length(ctg: CTG, pe_types: Sequence[str]) -> float:
+    """Length (sum of mean execution times) of the longest path in the CTG."""
+    means = mean_exec_times(ctg, pe_types)
+    into = longest_mean_path_into(ctg, means)
+    return max(into.values()) if into else 0.0
+
+
+def critical_path_tasks(ctg: CTG, pe_types: Sequence[str]) -> List[str]:
+    """One longest path (by mean execution time), source to sink."""
+    means = mean_exec_times(ctg, pe_types)
+    into = longest_mean_path_into(ctg, means)
+    if not into:
+        return []
+    # Walk backwards from the task with the largest inclusive path length.
+    current = max(into, key=lambda n: into[n])
+    path = [current]
+    while True:
+        preds = ctg.predecessors(current)
+        if not preds:
+            break
+        current = max(preds, key=lambda p: into[p])
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def effective_deadlines(
+    ctg: CTG,
+    pe_types: Sequence[str],
+    slack_per_hop: float = 0.0,
+) -> Dict[str, float]:
+    """Deadline propagation: give interior tasks an inherited deadline.
+
+    A task with no specified deadline inherits
+    ``min over successors j of (d_eff(j) - M_j)`` — it must finish early
+    enough for each successor's mean execution to still meet that
+    successor's effective deadline.  Tasks from which no deadline is
+    reachable keep ``inf``.  ``slack_per_hop`` subtracts an extra margin
+    per dependency edge (a pessimism knob for EDF variants).
+    """
+    means = mean_exec_times(ctg, pe_types)
+    eff: Dict[str, float] = {}
+    for name in reversed(ctg.topological_order()):
+        own = ctg.task(name).deadline
+        inherited = math.inf
+        for succ in ctg.successors(name):
+            candidate = eff[succ] - means[succ] - slack_per_hop
+            inherited = min(inherited, candidate)
+        eff[name] = min(own, inherited)
+    return eff
+
+
+def path_between(ctg: CTG, src: str, dst: str) -> Optional[List[str]]:
+    """Any dependency path from ``src`` to ``dst`` or ``None``.
+
+    Cheap DFS used by tests; not on any scheduler hot path.
+    """
+    if src == dst:
+        return [src]
+    stack: List[Tuple[str, List[str]]] = [(src, [src])]
+    seen = {src}
+    while stack:
+        node, path = stack.pop()
+        for succ in ctg.successors(node):
+            if succ == dst:
+                return path + [succ]
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+def sum_along(path: Sequence[str], values: Mapping[str, float]) -> float:
+    """Sum of per-task values along an explicit path."""
+    return sum(values[name] for name in path)

@@ -1,0 +1,257 @@
+"""TGFF-style random CTG generation (paper Sec. 6.1 substitute).
+
+The paper generates two categories of random benchmarks with TGFF [8]
+(10 graphs each, ~500 tasks, ~1000 transactions, scheduled on a 4x4
+heterogeneous NoC; category II has tighter deadlines).  TGFF is a small
+C tool; this module reproduces the same structural family natively:
+
+* tasks are instances of a randomly drawn **task-type library** (types
+  share cost profiles, and some types are *affine* to a PE class —
+  e.g. a filter kernel that runs disproportionately fast on the DSP),
+* the DAG grows in layers with locality-bounded fan-in, giving the
+  series-parallel look of TGFF output with roughly 2 transactions per
+  task,
+* deadlines are placed on sink tasks at ``laxity x`` the longest
+  mean-cost path into the sink (category I: loose laxity, category II:
+  tight laxity).
+
+Everything is driven by one integer seed, so "benchmark 3 of category
+II" is a deterministic object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.pe import PEType, STANDARD_PE_TYPES
+from repro.ctg.graph import CTG
+from repro.ctg.task import CommEdge, Task, TaskCosts
+from repro.errors import CTGError
+from repro.rng import RandomLike, make_rng, triangular_int
+
+#: PE classes the generated cost tables cover (matches the mesh presets).
+DEFAULT_PE_TYPE_NAMES: Tuple[str, ...] = ("cpu", "dsp", "arm", "risc")
+
+#: Category presets: (deadline laxity, deadline fraction of sinks).
+CATEGORY_PRESETS: Dict[int, Tuple[float, float]] = {
+    1: (1.8, 1.0),   # category I: loose real-time constraints
+    2: (1.15, 1.0),  # category II: tight real-time constraints
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random CTG generator.
+
+    Attributes:
+        n_tasks: number of tasks to generate.
+        n_task_types: size of the task-type library (TGFF reuses types).
+        base_time_range: uniform range of type base execution times
+            (abstract time units; microseconds by convention).
+        power_range: uniform range of type power densities
+            (nJ per time unit on the reference PE).
+        volume_range: uniform range of transaction volumes (bits).
+        min_in_degree / max_in_degree: fan-in bounds for non-source
+            tasks (TGFF's series/parallel knobs).
+        level_width: mean number of tasks per DAG layer — controls the
+            parallelism available to the platform.
+        locality: how many preceding layers a task may draw parents from.
+        deadline_laxity: sink deadline = laxity * longest mean path.
+        deadline_fraction: fraction of sinks receiving a deadline.
+        affinity_probability: chance that a task type is specialised to
+            one PE class (faster and cheaper there).
+        pe_type_names: PE classes to emit costs for.
+        time_jitter: +/- fractional jitter applied per (type, PE class).
+    """
+
+    n_tasks: int = 500
+    n_task_types: int = 24
+    base_time_range: Tuple[float, float] = (40.0, 400.0)
+    power_range: Tuple[float, float] = (0.6, 2.2)
+    volume_range: Tuple[float, float] = (2_000.0, 64_000.0)
+    min_in_degree: int = 1
+    max_in_degree: int = 3
+    level_width: float = 8.0
+    locality: int = 3
+    deadline_laxity: float = 1.6
+    deadline_fraction: float = 1.0
+    affinity_probability: float = 0.45
+    pe_type_names: Tuple[str, ...] = DEFAULT_PE_TYPE_NAMES
+    time_jitter: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise CTGError("n_tasks must be >= 1")
+        if self.min_in_degree < 1 or self.max_in_degree < self.min_in_degree:
+            raise CTGError("need 1 <= min_in_degree <= max_in_degree")
+        if self.deadline_laxity <= 0:
+            raise CTGError("deadline_laxity must be positive")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise CTGError("deadline_fraction must be in [0, 1]")
+
+
+@dataclass
+class TaskTypeSpec:
+    """One entry of the task-type library."""
+
+    name: str
+    base_time: float
+    power: float
+    affinity: Optional[str]
+    costs: Dict[str, TaskCosts]
+
+
+class TaskTypeLibrary:
+    """A randomly drawn library of task types with per-PE-class costs.
+
+    Cost construction: on PE class ``p`` a type with base time ``T`` and
+    power density ``W`` costs ``time = T * speed_factor(p) * jitter`` and
+    ``energy = T * W * energy_factor(p) * jitter``.  Because the PE
+    catalogue anti-correlates speed and energy, each type sees genuine
+    time/energy trade-offs across the platform — the variance the EAS
+    weights are built from.  An *affine* type additionally runs 2.2x
+    faster and 1.8x cheaper on its affinity class (a DSP kernel on the
+    DSP), sharpening the heterogeneity.
+    """
+
+    def __init__(self, config: GeneratorConfig, rng) -> None:
+        self.types: List[TaskTypeSpec] = []
+        for i in range(config.n_task_types):
+            base_time = rng.uniform(*config.base_time_range)
+            power = rng.uniform(*config.power_range)
+            affinity = (
+                rng.choice(list(config.pe_type_names))
+                if rng.random() < config.affinity_probability
+                else None
+            )
+            costs: Dict[str, TaskCosts] = {}
+            for pe_name in config.pe_type_names:
+                pe = STANDARD_PE_TYPES[pe_name]
+                t_jit = 1.0 + rng.uniform(-config.time_jitter, config.time_jitter)
+                e_jit = 1.0 + rng.uniform(-config.time_jitter, config.time_jitter)
+                time = base_time * pe.speed_factor * t_jit
+                energy = base_time * power * pe.energy_factor * e_jit
+                if affinity == pe_name:
+                    time /= 2.2
+                    energy /= 1.8
+                costs[pe_name] = TaskCosts(time=time, energy=energy)
+            self.types.append(
+                TaskTypeSpec(
+                    name=f"type{i}",
+                    base_time=base_time,
+                    power=power,
+                    affinity=affinity,
+                    costs=costs,
+                )
+            )
+
+    def pick(self, rng) -> TaskTypeSpec:
+        return rng.choice(self.types)
+
+
+def generate_ctg(config: GeneratorConfig, name: Optional[str] = None) -> CTG:
+    """Generate one random CTG according to ``config``."""
+    rng = make_rng(config.seed)
+    library = TaskTypeLibrary(config, rng)
+    ctg = CTG(name=name or f"rand-{config.seed}")
+
+    # --- layered DAG structure -------------------------------------------
+    levels: List[List[str]] = []
+    created = 0
+    while created < config.n_tasks:
+        width = max(1, triangular_int(rng, 1, int(2 * config.level_width)))
+        width = min(width, config.n_tasks - created)
+        level: List[str] = []
+        for _ in range(width):
+            task_type = library.pick(rng)
+            task_name = f"t{created}"
+            ctg.add_task(
+                Task(
+                    name=task_name,
+                    costs=dict(task_type.costs),
+                    task_type=task_type.name,
+                )
+            )
+            level.append(task_name)
+            created += 1
+        levels.append(level)
+
+    for level_idx in range(1, len(levels)):
+        lo = max(0, level_idx - config.locality)
+        parent_pool = [t for lvl in levels[lo:level_idx] for t in lvl]
+        for task_name in levels[level_idx]:
+            in_degree = rng.randint(config.min_in_degree, config.max_in_degree)
+            in_degree = min(in_degree, len(parent_pool))
+            parents = rng.sample(parent_pool, in_degree)
+            for parent in parents:
+                volume = rng.uniform(*config.volume_range)
+                ctg.add_edge(CommEdge(src=parent, dst=task_name, volume=volume))
+
+    # --- deadlines ----------------------------------------------------------
+    _assign_deadlines(ctg, config, rng)
+    ctg.validate(pe_types=list(config.pe_type_names))
+    return ctg
+
+
+def _assign_deadlines(ctg: CTG, config: GeneratorConfig, rng) -> None:
+    """Put ``laxity x longest-mean-path`` deadlines on (some) sinks.
+
+    Path lengths include a mean communication estimate (the largest
+    incoming transfer per task at nominal link bandwidth), so tight
+    laxities stay satisfiable despite network delays.
+    """
+    from repro.arch.acg import DEFAULT_BANDWIDTH
+    from repro.ctg.analysis import longest_mean_path_into
+
+    pe_types = list(config.pe_type_names)
+    value: Dict[str, float] = {}
+    for task in ctg.tasks():
+        stats = task.stats_over(pe_types)
+        worst_in = max(
+            (edge.volume / DEFAULT_BANDWIDTH for edge in ctg.in_edges(task.name)),
+            default=0.0,
+        )
+        value[task.name] = stats.mean_time + worst_in
+
+    into = longest_mean_path_into(ctg, value)
+    for sink in ctg.sinks():
+        if rng.random() < config.deadline_fraction:
+            ctg.task(sink).deadline = config.deadline_laxity * into[sink]
+
+
+def generate_category(
+    category: int,
+    index: int,
+    n_tasks: int = 500,
+    base_seed: int = 42,
+    **overrides,
+) -> CTG:
+    """Benchmark ``index`` (0..9) of the paper's category I or II suites.
+
+    Categories differ in deadline tightness; every graph in a suite also
+    varies its structural parameters slightly (the paper: "various
+    parameters are used in TGFF to generate benchmarks with different
+    topologies and task/communication distributions").
+    """
+    try:
+        laxity, fraction = CATEGORY_PRESETS[category]
+    except KeyError:
+        raise CTGError(f"unknown category {category}; use 1 or 2") from None
+    seed = base_seed + 1000 * category + index
+    rng = make_rng(seed)
+    config = GeneratorConfig(
+        n_tasks=n_tasks,
+        n_task_types=rng.randint(16, 32),
+        level_width=rng.uniform(5.0, 11.0),
+        locality=rng.randint(2, 4),
+        min_in_degree=1,
+        max_in_degree=rng.randint(2, 4),
+        deadline_laxity=laxity * rng.uniform(0.95, 1.05),
+        deadline_fraction=fraction,
+        seed=seed,
+    )
+    config = replace(config, **overrides) if overrides else config
+    return generate_ctg(config, name=f"cat{category}-{index}")

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class CTGError(ReproError):
+    """A communication task graph is malformed (cycle, bad costs, ...)."""
+
+
+class ArchitectureError(ReproError):
+    """A platform description is malformed or inconsistent."""
+
+
+class RoutingError(ArchitectureError):
+    """No route exists between two tiles under the selected routing."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a feasible schedule."""
+
+
+class InfeasibleOrderError(SchedulingError):
+    """A (mapping, per-PE order) pair has a cross-PE ordering deadlock."""
+
+
+class ScheduleValidationError(ReproError):
+    """A produced schedule violates a structural invariant."""
+
+
+class SerializationError(ReproError):
+    """A CTG or schedule file could not be parsed."""

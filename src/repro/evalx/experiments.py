@@ -1,0 +1,281 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each ``run_*`` function reproduces one evaluation artefact:
+
+========  =============================================================
+FIG5      energy of EAS-base / EAS / EDF on 10 category-I random graphs
+FIG6      same on 10 category-II random graphs (tighter deadlines)
+TAB1-3    A/V encoder / decoder / integrated MSB energies per clip
+FIG7      energy vs unified performance ratio on the integrated MSB
+TXT-RT    search-and-repair runtime overhead
+========  =============================================================
+
+Absolute joules differ from the paper (different profiled constants);
+the reproduced quantities are the *relationships*: who wins, by what
+factor, and how the gap moves with deadline tightness.
+
+Scale: the paper's random graphs have ~500 tasks.  The default here is
+150 tasks (minutes-to-seconds difference under pytest); set the
+environment variable ``REPRO_FULL=1`` — or pass ``n_tasks=500`` — to run
+the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.acg import ACG
+from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
+from repro.baselines.edf import edf_schedule
+from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
+from repro.core.repair import RepairConfig, search_and_repair
+from repro.ctg.generator import generate_category
+from repro.ctg.graph import CTG
+from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
+from repro.schedule.schedule import Schedule
+
+#: Number of random benchmarks per category, as in the paper.
+N_RANDOM_BENCHMARKS = 10
+
+
+def default_n_tasks() -> int:
+    """150 tasks by default, 500 (paper scale) under ``REPRO_FULL=1``."""
+    return 500 if os.environ.get("REPRO_FULL") == "1" else 150
+
+
+@dataclass
+class ExperimentRow:
+    """One benchmark's outcome across the compared schedulers."""
+
+    benchmark: str
+    energies: Dict[str, float]
+    misses: Dict[str, int]
+    runtimes: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        return self.energies[numerator] / self.energies[denominator]
+
+    def savings_pct(self, better: str, worse: str) -> float:
+        """Paper-style savings: 100 * (worse - better) / worse."""
+        return 100.0 * (self.energies[worse] - self.energies[better]) / self.energies[worse]
+
+
+@dataclass
+class FigureSeries:
+    """An x-axis plus one named y-series per scheduler (a line plot)."""
+
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]]
+
+
+# -- Fig. 5 / Fig. 6: random benchmark suites -----------------------------------
+
+
+def run_random_category(
+    category: int,
+    n_benchmarks: int = N_RANDOM_BENCHMARKS,
+    n_tasks: Optional[int] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ExperimentRow]:
+    """The Sec. 6.1 experiment for one category of random benchmarks.
+
+    Compares ``eas-base`` (no repair), ``eas`` (with repair) and ``edf``
+    on a 4x4 heterogeneous mesh, exactly the paper's setup.
+    """
+    n_tasks = n_tasks if n_tasks is not None else default_n_tasks()
+    wanted = tuple(schedulers) if schedulers else ("eas-base", "eas", "edf")
+    rows: List[ExperimentRow] = []
+    for index in range(n_benchmarks):
+        ctg = generate_category(category, index, n_tasks=n_tasks)
+        acg = mesh_4x4(shuffle_seed=100 + index)
+        row = _compare(ctg, acg, wanted)
+        rows.append(row)
+        if progress is not None:
+            progress(f"cat{category} benchmark {index}: " + _row_brief(row))
+    return rows
+
+
+def run_fig5(**kwargs) -> List[ExperimentRow]:
+    """Fig. 5: category-I comparison (loose deadlines)."""
+    return run_random_category(1, **kwargs)
+
+
+def run_fig6(**kwargs) -> List[ExperimentRow]:
+    """Fig. 6: category-II comparison (tight deadlines)."""
+    return run_random_category(2, **kwargs)
+
+
+# -- Tables 1-3: multimedia system benchmarks ----------------------------------
+
+_MSB_BUILDERS: Dict[str, Tuple[Callable[[str], CTG], Callable[[], ACG]]] = {
+    "encoder": (av_encoder_ctg, mesh_2x2),
+    "decoder": (av_decoder_ctg, mesh_2x2),
+    "integrated": (av_integrated_ctg, mesh_3x3),
+}
+
+
+def run_msb_table(
+    system: str,
+    clips: Sequence[str] = CLIP_NAMES,
+    schedulers: Sequence[str] = ("eas", "edf"),
+) -> List[ExperimentRow]:
+    """Tables 1-3: one row per clip for the chosen multimedia system.
+
+    ``system`` is ``"encoder"`` (Table 1, 24 tasks, 2x2), ``"decoder"``
+    (Table 2, 16 tasks, 2x2) or ``"integrated"`` (Table 3, 40 tasks,
+    3x3).  Rows carry the computation/communication split and average
+    hops per packet, reproducing the Sec. 6.2 textual statistics.
+    """
+    try:
+        build_ctg, build_acg = _MSB_BUILDERS[system]
+    except KeyError:
+        raise ValueError(f"unknown MSB system {system!r}; known: {sorted(_MSB_BUILDERS)}") from None
+    rows = []
+    for clip in clips:
+        ctg = build_ctg(clip)
+        acg = build_acg()
+        row = _compare(ctg, acg, tuple(schedulers), benchmark_name=clip)
+        rows.append(row)
+    return rows
+
+
+# -- Fig. 7: performance/energy trade-off ----------------------------------------
+
+
+def run_fig7(
+    ratios: Sequence[float] = (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6),
+    clip: str = "foreman",
+    schedulers: Sequence[str] = ("eas", "edf"),
+) -> FigureSeries:
+    """Fig. 7: energy vs required performance on the integrated MSB.
+
+    A unified performance ratio ``r`` raises both the encoding and the
+    decoding rate by ``r`` — i.e. divides every deadline by ``r`` — and
+    the schedule energy is recorded per scheduler.  A ``float('nan')``
+    entry marks a point where a scheduler could not meet the deadlines
+    even after repair.
+    """
+    series: Dict[str, List[float]] = {name: [] for name in schedulers}
+    for ratio in ratios:
+        ctg = av_integrated_ctg(
+            clip,
+            encoder_deadline_scale=1.0 / ratio,
+            decoder_deadline_scale=1.0 / ratio,
+        )
+        acg = mesh_3x3()
+        for name in schedulers:
+            schedule = _run_scheduler(name, ctg, acg)
+            energy = schedule.total_energy()
+            if schedule.deadline_misses():
+                energy = float("nan")
+            series[name].append(energy)
+    return FigureSeries(
+        x_label="unified performance ratio",
+        x_values=list(ratios),
+        series=series,
+    )
+
+
+# -- Sec. 6.1 runtime discussion ---------------------------------------------------
+
+
+def run_repair_runtime(
+    category: int = 2,
+    n_benchmarks: int = N_RANDOM_BENCHMARKS,
+    n_tasks: Optional[int] = None,
+) -> List[ExperimentRow]:
+    """Runtime overhead of search-and-repair on the miss-y benchmarks.
+
+    Reproduces the Sec. 6.1 observation that repair fixes all misses at
+    negligible energy cost but measurably longer scheduler runtime.
+    Only benchmarks where EAS-base actually misses produce a row.
+    """
+    n_tasks = n_tasks if n_tasks is not None else default_n_tasks()
+    rows: List[ExperimentRow] = []
+    for index in range(n_benchmarks):
+        ctg = generate_category(category, index, n_tasks=n_tasks)
+        acg = mesh_4x4(shuffle_seed=100 + index)
+        base = eas_base_schedule(ctg, acg)
+        if not base.deadline_misses():
+            continue
+        started = time.perf_counter()
+        repaired, report = search_and_repair(base)
+        repair_seconds = time.perf_counter() - started
+        rows.append(
+            ExperimentRow(
+                benchmark=ctg.name,
+                energies={"eas-base": base.total_energy(), "eas": repaired.total_energy()},
+                misses={
+                    "eas-base": len(base.deadline_misses()),
+                    "eas": len(repaired.deadline_misses()),
+                },
+                runtimes={
+                    "eas-base": base.runtime_seconds,
+                    "eas": base.runtime_seconds + repair_seconds,
+                },
+                extras={
+                    "swaps_accepted": report.swaps_accepted,
+                    "migrations_accepted": report.migrations_accepted,
+                },
+            )
+        )
+    return rows
+
+
+# -- shared helpers -------------------------------------------------------------------
+
+
+def _run_scheduler(name: str, ctg: CTG, acg: ACG) -> Schedule:
+    if name == "eas":
+        return eas_schedule(ctg, acg)
+    if name == "eas-base":
+        return eas_base_schedule(ctg, acg)
+    if name == "edf":
+        return edf_schedule(ctg, acg)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def _compare(
+    ctg: CTG,
+    acg: ACG,
+    schedulers: Tuple[str, ...],
+    benchmark_name: Optional[str] = None,
+) -> ExperimentRow:
+    energies: Dict[str, float] = {}
+    misses: Dict[str, int] = {}
+    runtimes: Dict[str, float] = {}
+    extras: Dict[str, float] = {}
+    for name in schedulers:
+        schedule = _run_scheduler(name, ctg, acg)
+        schedule.validate_structure()
+        energies[name] = schedule.total_energy()
+        misses[name] = len(schedule.deadline_misses())
+        runtimes[name] = schedule.runtime_seconds
+        extras[f"{name}:comp"] = schedule.computation_energy()
+        extras[f"{name}:comm"] = schedule.communication_energy()
+        extras[f"{name}:hops"] = schedule.average_hops_per_packet()
+    return ExperimentRow(
+        benchmark=benchmark_name or ctg.name,
+        energies=energies,
+        misses=misses,
+        runtimes=runtimes,
+        extras=extras,
+    )
+
+
+def _row_brief(row: ExperimentRow) -> str:
+    parts = [f"{name}={energy:.3e}" for name, energy in row.energies.items()]
+    miss = ", ".join(f"{name}:{n}" for name, n in row.misses.items() if n)
+    return " ".join(parts) + (f" misses[{miss}]" if miss else "")
+
+
+def average_extra_energy_pct(rows: Sequence[ExperimentRow], worse: str, better: str) -> float:
+    """Paper headline metric: mean of ``(worse/better - 1) * 100`` over rows."""
+    ratios = [row.ratio(worse, better) for row in rows]
+    return 100.0 * (sum(ratios) / len(ratios) - 1.0)

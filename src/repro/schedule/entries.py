@@ -1,0 +1,64 @@
+"""Placement records produced by the schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arch.topology import Link
+
+
+@dataclass(frozen=True)
+class TaskPlacement:
+    """One task's assignment: PE, start and finish times, energies."""
+
+    task: str
+    pe: int
+    start: float
+    finish: float
+    energy: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    def __repr__(self) -> str:
+        return f"TaskPlacement({self.task}@PE{self.pe} [{self.start:g},{self.finish:g}))"
+
+
+@dataclass(frozen=True)
+class CommPlacement:
+    """One communication transaction's assignment.
+
+    ``start == finish`` for local (same-tile) or zero-volume transfers,
+    which occupy no links and consume no network energy.
+    """
+
+    src_task: str
+    dst_task: str
+    volume: float
+    src_pe: int
+    dst_pe: int
+    start: float
+    finish: float
+    links: Tuple[Link, ...]
+    energy: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def is_local(self) -> bool:
+        return not self.links
+
+    @property
+    def n_hops(self) -> int:
+        """Routers traversed (links + 1)."""
+        return len(self.links) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CommPlacement({self.src_task}->{self.dst_task}, "
+            f"PE{self.src_pe}->PE{self.dst_pe} [{self.start:g},{self.finish:g}))"
+        )

@@ -1,0 +1,118 @@
+"""Resource tables with cheap tentative (what-if) reservations.
+
+The level-based scheduler evaluates ``F(i,k)`` for every (ready task, PE)
+combination by *tentatively* scheduling the task's receiving transactions
+and then restoring the tables ("the schedule tables of both links and the
+PEs will be restored every time a F(i,k) is calculated").  Copying every
+table per evaluation would dominate runtime, so :class:`ResourceTables`
+keeps the committed tables immutable during an evaluation and layers the
+tentative reservations in a small per-evaluation overlay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.schedule.table import Interval, ScheduleTable, find_gap, merge_busy
+
+
+class ResourceTables:
+    """Committed schedule tables for a set of resources, keyed by hashable ids.
+
+    Resources are created lazily: querying an unknown resource sees an
+    empty table.  PE resources are keyed by PE index, link resources by
+    :class:`repro.arch.topology.Link`.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[Hashable, ScheduleTable] = {}
+
+    def table(self, resource: Hashable) -> ScheduleTable:
+        tbl = self._tables.get(resource)
+        if tbl is None:
+            tbl = ScheduleTable()
+            self._tables[resource] = tbl
+        return tbl
+
+    def busy(self, resource: Hashable) -> List[Interval]:
+        tbl = self._tables.get(resource)
+        return tbl.intervals() if tbl is not None else []
+
+    def reserve(self, resource: Hashable, start: float, end: float) -> None:
+        self.table(resource).reserve(start, end)
+
+    def release(self, resource: Hashable, start: float, end: float) -> None:
+        self.table(resource).release(start, end)
+
+    def find_earliest(self, resource: Hashable, ready: float, duration: float) -> float:
+        return self.table(resource).find_earliest(ready, duration)
+
+    def resources(self) -> List[Hashable]:
+        return list(self._tables)
+
+    def copy(self) -> "ResourceTables":
+        clone = ResourceTables()
+        clone._tables = {k: v.copy() for k, v in self._tables.items()}
+        return clone
+
+    def overlay(self) -> "TentativeOverlay":
+        """A fresh what-if layer over the committed state."""
+        return TentativeOverlay(self)
+
+
+class TentativeOverlay:
+    """Uncommitted reservations layered over :class:`ResourceTables`.
+
+    Reservations recorded here are visible to subsequent queries through
+    the overlay (transaction n+1 must see transaction n's tentative link
+    occupancy) but never touch the committed tables; dropping the overlay
+    is the paper's "restore".
+    """
+
+    def __init__(self, base: ResourceTables) -> None:
+        self._base = base
+        self._extra: Dict[Hashable, List[Interval]] = {}
+
+    def _combined(self, resource: Hashable) -> List[Interval]:
+        extra = self._extra.get(resource)
+        base = self._base.busy(resource)
+        if not extra:
+            return base
+        return merge_busy([base, sorted(extra)])
+
+    def find_earliest(self, resource: Hashable, ready: float, duration: float) -> float:
+        return find_gap(self._combined(resource), ready, duration)
+
+    def find_earliest_on_path(
+        self, resources: Sequence[Hashable], ready: float, duration: float
+    ) -> float:
+        """Earliest slot free on *all* path resources simultaneously.
+
+        Implements Fig. 3: the path schedule table is the merge of the
+        occupied slots of the comprising links.
+        """
+        if not resources:
+            return ready
+        merged = merge_busy([self._combined(r) for r in resources])
+        return find_gap(merged, ready, duration)
+
+    def reserve(self, resource: Hashable, start: float, end: float) -> None:
+        if end - start <= 0:
+            return
+        self._extra.setdefault(resource, []).append((start, end))
+
+    def reserve_on_path(self, resources: Iterable[Hashable], start: float, end: float) -> None:
+        for resource in resources:
+            self.reserve(resource, start, end)
+
+    def commit(self) -> None:
+        """Apply all tentative reservations to the committed tables."""
+        for resource, intervals in self._extra.items():
+            table = self._base.table(resource)
+            for start, end in intervals:
+                table.reserve(start, end)
+        self._extra.clear()
+
+    def drop(self) -> None:
+        """Discard all tentative reservations (the paper's table restore)."""
+        self._extra.clear()

@@ -1,0 +1,147 @@
+"""Interval schedule tables.
+
+The paper keeps a *schedule table* per shared resource (each PE and each
+directed link, Fig. 1 right).  A table is a sorted list of half-open busy
+intervals ``[start, end)``; the central query is *find the earliest start
+at or after a ready time where a duration fits* (Fig. 3's
+``find_earliest``), and the central update is a non-overlapping
+reservation.
+
+Intervals with zero duration are never stored (local/zero-volume
+transfers occupy nothing).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import SchedulingError
+
+Interval = Tuple[float, float]
+
+#: Tolerance for floating-point interval comparisons.
+EPS = 1e-9
+
+
+class ScheduleTable:
+    """Sorted non-overlapping busy intervals on one resource."""
+
+    __slots__ = ("_busy",)
+
+    def __init__(self, busy: Iterable[Interval] = ()) -> None:
+        self._busy: List[Interval] = sorted((float(s), float(e)) for s, e in busy)
+        self._check_sorted()
+
+    def _check_sorted(self) -> None:
+        prev_end = -math.inf
+        for start, end in self._busy:
+            if end < start:
+                raise SchedulingError(f"inverted interval [{start}, {end})")
+            if start < prev_end - EPS:
+                raise SchedulingError("overlapping intervals in schedule table")
+            prev_end = end
+
+    # -- queries -----------------------------------------------------------
+
+    def intervals(self) -> List[Interval]:
+        return list(self._busy)
+
+    def __len__(self) -> int:
+        return len(self._busy)
+
+    def busy_time(self) -> float:
+        """Total occupied time on this resource."""
+        return sum(e - s for s, e in self._busy)
+
+    def horizon(self) -> float:
+        """End of the last reservation (0.0 when empty)."""
+        return self._busy[-1][1] if self._busy else 0.0
+
+    def is_free(self, start: float, end: float) -> bool:
+        """Whether ``[start, end)`` overlaps no reservation."""
+        if end - start <= EPS:
+            return True
+        idx = bisect_right(self._busy, (start, math.inf))
+        if idx > 0 and self._busy[idx - 1][1] > start + EPS:
+            return False
+        if idx < len(self._busy) and self._busy[idx][0] < end - EPS:
+            return False
+        return True
+
+    def find_earliest(self, ready: float, duration: float) -> float:
+        """Earliest ``t >= ready`` with ``[t, t + duration)`` free."""
+        return find_gap(self._busy, ready, duration)
+
+    # -- updates -------------------------------------------------------------
+
+    def reserve(self, start: float, end: float) -> None:
+        """Add a busy interval; raises on conflict with existing ones."""
+        if end - start <= EPS:
+            return
+        if not self.is_free(start, end):
+            raise SchedulingError(f"reservation [{start}, {end}) conflicts with schedule table")
+        insort(self._busy, (start, end))
+
+    def release(self, start: float, end: float) -> None:
+        """Remove a previously made reservation (exact match required)."""
+        if end - start <= EPS:
+            return
+        try:
+            idx = self._busy.index((start, end))
+        except ValueError:
+            raise SchedulingError(f"no reservation [{start}, {end}) to release") from None
+        del self._busy[idx]
+
+    def copy(self) -> "ScheduleTable":
+        clone = ScheduleTable.__new__(ScheduleTable)
+        clone._busy = list(self._busy)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"ScheduleTable({self._busy!r})"
+
+
+def find_gap(busy: Sequence[Interval], ready: float, duration: float) -> float:
+    """Earliest start >= ``ready`` fitting ``duration`` in sorted ``busy``.
+
+    ``busy`` must be sorted and non-overlapping.  Zero durations return
+    ``ready`` immediately.
+    """
+    if duration <= EPS:
+        return ready
+    candidate = ready
+    # Start scanning at the last interval beginning before the candidate.
+    idx = bisect_right(busy, (candidate, math.inf))
+    if idx > 0 and busy[idx - 1][1] > candidate:
+        candidate = busy[idx - 1][1]
+    while idx < len(busy):
+        start, end = busy[idx]
+        if start - candidate >= duration - EPS:
+            return candidate
+        candidate = max(candidate, end)
+        idx += 1
+    return candidate
+
+
+def merge_busy(interval_lists: Sequence[Sequence[Interval]]) -> List[Interval]:
+    """Union several sorted busy lists into one sorted non-overlapping list.
+
+    This is the paper's ``path.build_schedule_table()``: the busy set of a
+    route is the union of the busy sets of its comprising links.
+    """
+    merged: List[Interval] = sorted(
+        (interval for intervals in interval_lists for interval in intervals)
+    )
+    if not merged:
+        return []
+    result = [merged[0]]
+    for start, end in merged[1:]:
+        last_start, last_end = result[-1]
+        if start <= last_end + EPS:
+            if end > last_end:
+                result[-1] = (last_start, end)
+        else:
+            result.append((start, end))
+    return result

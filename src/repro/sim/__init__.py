@@ -1,0 +1,22 @@
+"""NoC simulation: transaction-level replay and flit-level wormhole."""
+
+from repro.sim.replay import SimulationReport, simulate_schedule
+from repro.sim.wormhole import (
+    PacketSpec,
+    WormholeConfig,
+    WormholeReport,
+    packets_from_schedule,
+    simulate_wormhole,
+    validate_transaction_abstraction,
+)
+
+__all__ = [
+    "PacketSpec",
+    "SimulationReport",
+    "WormholeConfig",
+    "WormholeReport",
+    "packets_from_schedule",
+    "simulate_schedule",
+    "simulate_wormhole",
+    "validate_transaction_abstraction",
+]

@@ -1,0 +1,333 @@
+"""Flit-level wormhole network simulation.
+
+The paper's platform (Sec. 3.1) uses wormhole routing with router
+buffers "implemented using registers (typically in the size of one or
+two flits each)".  The schedulers abstract this to transaction-level
+link reservations (a transfer holds its whole path for
+``volume / bandwidth``).  This module implements the underlying
+flit-level mechanics — per-cycle flit advancement, per-link channel
+ownership held from head to tail, finite register buffers, deterministic
+arbitration — so the abstraction can be checked against the hardware
+model it stands for:
+
+* with exclusive paths (what a valid schedule guarantees), a packet's
+  flit-level delivery time equals the transaction finish time plus the
+  pipeline fill of at most ``hops`` extra flit cycles;
+* with deliberately conflicting injections, packets serialise through
+  shared links exactly as wormhole channel ownership dictates — the
+  contention the paper insists schedulers must model.
+
+The model (standard in NoC literature at this abstraction):
+
+* time advances in **flit cycles**; one flit crosses one link per cycle
+  (cycle time = ``flit_size / link_bandwidth``);
+* each directed link is a **channel** owned by at most one packet at a
+  time; ownership is acquired by the head flit and released when the
+  tail flit has crossed;
+* each link's receiving side has a register buffer of ``buffer_flits``
+  flits; a flit advances only if the downstream buffer has space
+  (backpressure);
+* arbitration between packets requesting the same free channel in the
+  same cycle is deterministic: earliest injection first, then packet
+  name.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.acg import ACG
+from repro.arch.topology import Link
+from repro.errors import ReproError, SchedulingError
+from repro.schedule.schedule import Schedule
+
+
+class WormholeError(ReproError):
+    """The flit-level simulation could not complete (e.g. cycle bound)."""
+
+
+@dataclass(frozen=True)
+class PacketSpec:
+    """One packet to inject: a CTG transaction at flit granularity."""
+
+    name: str
+    src_pe: int
+    dst_pe: int
+    volume_bits: float
+    inject_time: float
+
+    def __post_init__(self) -> None:
+        if self.volume_bits <= 0:
+            raise WormholeError(f"packet {self.name!r}: volume must be positive")
+        if self.inject_time < 0:
+            raise WormholeError(f"packet {self.name!r}: negative inject time")
+
+
+@dataclass(frozen=True)
+class WormholeConfig:
+    """Flit-level platform parameters.
+
+    Attributes:
+        flit_size_bits: payload bits per flit; the paper's 0.18um-era
+            routers move 32-128 bit phits, 64 is a common choice.
+        buffer_flits: register buffer depth per link endpoint (the
+            paper: "one or two flits each").
+        max_cycles: simulation bound; exceeded means livelock/deadlock
+            (impossible under XY routing unless packets never drain).
+    """
+
+    flit_size_bits: float = 64.0
+    buffer_flits: int = 2
+    max_cycles: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.flit_size_bits <= 0:
+            raise WormholeError("flit size must be positive")
+        if self.buffer_flits < 1:
+            raise WormholeError("need at least one flit of buffering")
+
+
+@dataclass
+class PacketResult:
+    """Flit-level outcome of one packet."""
+
+    name: str
+    n_flits: int
+    inject_cycle: int
+    delivered_cycle: int
+    hops: int
+
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles from injection to the tail flit reaching the sink."""
+        return self.delivered_cycle - self.inject_cycle
+
+    @property
+    def ideal_latency_cycles(self) -> int:
+        """Contention-free pipeline latency: fill + drain."""
+        return self.n_flits + self.hops - 1
+
+
+@dataclass
+class WormholeReport:
+    """Aggregate results of a flit-level run."""
+
+    cycle_time: float
+    cycles_run: int
+    packets: Dict[str, PacketResult] = field(default_factory=dict)
+    link_busy_cycles: Dict[Link, int] = field(default_factory=dict)
+
+    def delivery_time(self, name: str) -> float:
+        """Wall-clock time the packet's tail reaches its destination."""
+        return self.packets[name].delivered_cycle * self.cycle_time
+
+    def average_latency_cycles(self) -> float:
+        if not self.packets:
+            return 0.0
+        return sum(p.latency_cycles for p in self.packets.values()) / len(self.packets)
+
+    def total_stall_cycles(self) -> int:
+        """Extra cycles beyond the contention-free pipeline latency."""
+        return sum(
+            p.latency_cycles - p.ideal_latency_cycles for p in self.packets.values()
+        )
+
+
+class _PacketState:
+    """Mutable per-packet simulation state."""
+
+    __slots__ = (
+        "spec",
+        "links",
+        "n_flits",
+        "inject_cycle",
+        "at_source",
+        "buffered",
+        "crossed",
+        "delivered_cycle",
+    )
+
+    def __init__(self, spec: PacketSpec, links: Tuple[Link, ...], n_flits: int, inject_cycle: int):
+        self.spec = spec
+        self.links = links
+        self.n_flits = n_flits
+        self.inject_cycle = inject_cycle
+        #: flits not yet put on the first link.
+        self.at_source = n_flits
+        #: flits sitting in the register buffer after link i.
+        self.buffered = [0] * len(links)
+        #: flits that have fully crossed link i.
+        self.crossed = [0] * len(links)
+        self.delivered_cycle: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.delivered_cycle is not None
+
+
+def simulate_wormhole(
+    acg: ACG,
+    packets: Sequence[PacketSpec],
+    config: Optional[WormholeConfig] = None,
+) -> WormholeReport:
+    """Run the flit-level simulation until every packet is delivered.
+
+    Local packets (``src_pe == dst_pe``) are rejected — they never enter
+    the network at the transaction level either.
+    """
+    cfg = config or WormholeConfig()
+    cycle_time = cfg.flit_size_bits / acg.link_bandwidth
+
+    states: List[_PacketState] = []
+    for spec in packets:
+        route = acg.route(spec.src_pe, spec.dst_pe)
+        if route.is_local:
+            raise WormholeError(f"packet {spec.name!r} is local; nothing to simulate")
+        n_flits = max(1, math.ceil(spec.volume_bits / cfg.flit_size_bits))
+        inject_cycle = math.ceil(spec.inject_time / cycle_time)
+        states.append(_PacketState(spec, route.links, n_flits, inject_cycle))
+
+    # Deterministic global arbitration order: earlier injection wins,
+    # then name.  Fixed for the whole run (FIFO-like fairness).
+    states.sort(key=lambda s: (s.inject_cycle, s.spec.name))
+
+    owner: Dict[Link, Optional[_PacketState]] = {}
+    link_busy: Dict[Link, int] = {}
+    remaining = len(states)
+    cycle = 0
+
+    while remaining > 0:
+        if cycle > cfg.max_cycles:
+            stuck = [s.spec.name for s in states if not s.done]
+            raise WormholeError(
+                f"simulation exceeded {cfg.max_cycles} cycles; stuck packets: {stuck}"
+            )
+        for state in states:
+            if state.done or cycle < state.inject_cycle:
+                continue
+            _advance(state, owner, link_busy, cfg, cycle)
+            if state.done:
+                remaining -= 1
+        cycle += 1
+
+    report = WormholeReport(cycle_time=cycle_time, cycles_run=cycle, link_busy_cycles=link_busy)
+    for state in states:
+        assert state.delivered_cycle is not None
+        report.packets[state.spec.name] = PacketResult(
+            name=state.spec.name,
+            n_flits=state.n_flits,
+            inject_cycle=state.inject_cycle,
+            delivered_cycle=state.delivered_cycle,
+            hops=len(state.links),
+        )
+    return report
+
+
+def _advance(
+    state: _PacketState,
+    owner: Dict[Link, Optional[_PacketState]],
+    link_busy: Dict[Link, int],
+    cfg: WormholeConfig,
+    cycle: int,
+) -> None:
+    """Move this packet's flits one link at most, downstream first.
+
+    Iterating links from the last to the first guarantees a flit crosses
+    at most one link per cycle, and processing downstream stages first
+    frees buffer space for upstream flits within the same cycle — the
+    standard synchronous-pipeline update order.
+    """
+    links = state.links
+    k = len(links)
+    for i in range(k - 1, -1, -1):
+        available = state.at_source if i == 0 else state.buffered[i - 1]
+        if available == 0:
+            continue
+        if state.crossed[i] >= state.n_flits:
+            continue
+        link = links[i]
+        current = owner.get(link)
+        if current is None:
+            # Wormhole acquisition: the head flit grabs the channel.
+            owner[link] = state
+        elif current is not state:
+            continue  # channel held by another worm: blocked
+        # Backpressure: the downstream register must have space (the
+        # sink consumes instantly).
+        if i < k - 1 and state.buffered[i] >= cfg.buffer_flits:
+            continue
+        # Move one flit across link i.
+        if i == 0:
+            state.at_source -= 1
+        else:
+            state.buffered[i - 1] -= 1
+        if i < k - 1:
+            state.buffered[i] += 1
+        state.crossed[i] += 1
+        link_busy[link] = link_busy.get(link, 0) + 1
+        if state.crossed[i] == state.n_flits:
+            owner[link] = None  # tail passed: release the channel
+            if i == k - 1:
+                state.delivered_cycle = cycle + 1
+
+
+def packets_from_schedule(schedule: Schedule) -> List[PacketSpec]:
+    """Extract the network packets of a schedule (non-local transactions),
+    injected at their transaction start times."""
+    packets = []
+    for (src, dst), comm in sorted(schedule.comm_placements.items()):
+        if comm.is_local or comm.volume <= 0:
+            continue
+        packets.append(
+            PacketSpec(
+                name=f"{src}->{dst}",
+                src_pe=comm.src_pe,
+                dst_pe=comm.dst_pe,
+                volume_bits=comm.volume,
+                inject_time=comm.start,
+            )
+        )
+    return packets
+
+
+def validate_transaction_abstraction(
+    schedule: Schedule,
+    config: Optional[WormholeConfig] = None,
+    slack_hops_factor: float = 4.0,
+) -> WormholeReport:
+    """Check the transaction-level model against flit-level execution.
+
+    Replays every network transaction of ``schedule`` through the
+    wormhole simulator at its scheduled injection time and verifies each
+    packet's tail arrives within the transaction window plus a pipeline
+    allowance.  The allowance covers (a) the ``hops - 1`` cycle pipeline
+    fill, (b) flit-count rounding and (c) bounded tail-drain interleaving
+    with the next reservation on shared links; ``slack_hops_factor``
+    scales it.
+
+    Raises:
+        SchedulingError: a packet arrived later than the abstraction
+            promised — the schedule is NOT conservative at flit level.
+    """
+    cfg = config or WormholeConfig()
+    packets = packets_from_schedule(schedule)
+    if not packets:
+        return WormholeReport(
+            cycle_time=cfg.flit_size_bits / schedule.acg.link_bandwidth, cycles_run=0
+        )
+    report = simulate_wormhole(schedule.acg, packets, cfg)
+    for (src, dst), comm in schedule.comm_placements.items():
+        if comm.is_local or comm.volume <= 0:
+            continue
+        name = f"{src}->{dst}"
+        delivered = report.delivery_time(name)
+        hops = len(comm.links)
+        allowance = report.cycle_time * (slack_hops_factor * hops + 2)
+        if delivered > comm.finish + allowance:
+            raise SchedulingError(
+                f"transaction {name} finished at {delivered:.3f} at flit level "
+                f"but the schedule promised {comm.finish:.3f} (+{allowance:.3f} allowed)"
+            )
+    return report

@@ -1,0 +1,123 @@
+"""Tests for deterministic routing algorithms."""
+
+import pytest
+
+from repro.arch.routing import (
+    ShortestPathRouting,
+    TorusXYRouting,
+    XYRouting,
+    YXRouting,
+    default_routing_for,
+    get_routing,
+)
+from repro.arch.topology import HoneycombTopology, Mesh2D, Torus2D
+from repro.errors import RoutingError
+
+
+class TestXYRouting:
+    def setup_method(self):
+        self.mesh = Mesh2D(4, 4)
+        self.routing = XYRouting()
+
+    def test_local_route(self):
+        assert self.routing.route(self.mesh, (1, 1), (1, 1)) == [(1, 1)]
+
+    def test_column_first(self):
+        path = self.routing.route(self.mesh, (0, 0), (2, 3))
+        assert path == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (2, 3)]
+
+    def test_negative_directions(self):
+        path = self.routing.route(self.mesh, (3, 3), (1, 0))
+        assert path[0] == (3, 3) and path[-1] == (1, 0)
+        # Columns corrected before rows.
+        assert path[1] == (3, 2)
+
+    def test_minimal_length(self):
+        for src in self.mesh.coords():
+            for dst in self.mesh.coords():
+                path = self.routing.route(self.mesh, src, dst)
+                assert len(path) == self.mesh.manhattan(src, dst) + 1
+
+    def test_hop_count_matches_eq2(self):
+        assert self.routing.n_hops(self.mesh, (0, 0), (2, 3)) == 6
+
+    def test_paths_are_valid_in_topology(self):
+        for src in [(0, 0), (3, 1)]:
+            for dst in self.mesh.coords():
+                self.mesh.validate_path(self.routing.route(self.mesh, src, dst))
+
+    def test_requires_mesh(self):
+        with pytest.raises(RoutingError):
+            self.routing.route(HoneycombTopology(3, 3), (0, 0), (1, 1))
+
+
+class TestYXRouting:
+    def test_row_first(self):
+        path = YXRouting().route(Mesh2D(4, 4), (0, 0), (2, 3))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (2, 3)]
+
+    def test_xy_and_yx_agree_on_straight_lines(self):
+        mesh = Mesh2D(4, 4)
+        assert XYRouting().route(mesh, (1, 0), (1, 3)) == YXRouting().route(
+            mesh, (1, 0), (1, 3)
+        )
+
+
+class TestTorusXYRouting:
+    def test_wraps_when_shorter(self):
+        torus = Torus2D(4, 4)
+        path = TorusXYRouting().route(torus, (0, 0), (0, 3))
+        assert path == [(0, 0), (0, 3)]  # one wrap hop, not three mesh hops
+
+    def test_forward_when_shorter(self):
+        torus = Torus2D(4, 4)
+        path = TorusXYRouting().route(torus, (0, 0), (0, 1))
+        assert path == [(0, 0), (0, 1)]
+
+    def test_requires_torus(self):
+        with pytest.raises(RoutingError):
+            TorusXYRouting().route(Mesh2D(3, 3), (0, 0), (1, 1))
+
+    def test_paths_valid(self):
+        torus = Torus2D(3, 3)
+        routing = TorusXYRouting()
+        for src in torus.coords():
+            for dst in torus.coords():
+                torus.validate_path(routing.route(torus, src, dst))
+
+
+class TestShortestPathRouting:
+    def test_deterministic(self):
+        honey = HoneycombTopology(4, 4)
+        routing = ShortestPathRouting()
+        first = routing.route(honey, (0, 0), (3, 3))
+        second = routing.route(honey, (0, 0), (3, 3))
+        assert first == second
+
+    def test_is_shortest_on_mesh(self):
+        mesh = Mesh2D(3, 3)
+        routing = ShortestPathRouting()
+        for src in mesh.coords():
+            for dst in mesh.coords():
+                assert len(routing.route(mesh, src, dst)) == mesh.manhattan(src, dst) + 1
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(RoutingError):
+            ShortestPathRouting().route(Mesh2D(2, 2), (0, 0), (9, 9))
+
+
+class TestRegistry:
+    def test_get_routing(self):
+        assert isinstance(get_routing("xy"), XYRouting)
+        assert isinstance(get_routing("yx"), YXRouting)
+
+    def test_unknown_name(self):
+        with pytest.raises(RoutingError):
+            get_routing("magic")
+
+    def test_defaults(self):
+        assert isinstance(default_routing_for(Mesh2D(2, 2)), XYRouting)
+        assert isinstance(default_routing_for(Torus2D(3, 3)), TorusXYRouting)
+        assert isinstance(
+            default_routing_for(HoneycombTopology(2, 2)), ShortestPathRouting
+        )

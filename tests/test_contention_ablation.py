@@ -1,0 +1,66 @@
+"""Tests for the fixed-delay (contention-blind) ablation mode.
+
+The paper's introduction argues that ignoring network contention during
+scheduling yields optimistic timings; these tests pin the machinery the
+ABL-C benchmark uses to demonstrate that.
+"""
+
+import pytest
+
+from repro.arch.acg import ACG
+from repro.arch.presets import mesh_4x4
+from repro.arch.topology import Mesh2D
+from repro.core.eas import EASConfig, eas_base_schedule
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.generator import generate_category
+from repro.ctg.graph import CTG
+from repro.ctg.task import Task, TaskCosts
+
+
+def congested_ctg():
+    """Many senders funnelling big transfers into one receiver."""
+    ctg = CTG()
+    for i in range(4):
+        ctg.add_task(Task(f"s{i}", costs={"cpu": TaskCosts(10, 1)}))
+    ctg.add_task(Task("hub", costs={"cpu": TaskCosts(10, 1)}))
+    for i in range(4):
+        ctg.connect(f"s{i}", "hub", volume=5000)  # 50 tu each at bw=100
+    return ctg
+
+
+def row_acg():
+    return ACG(Mesh2D(1, 5), pe_types=["cpu"] * 5, link_bandwidth=100.0)
+
+
+class TestFixedDelayModel:
+    def test_blind_schedule_is_optimistic(self):
+        """The contention-blind makespan must be <= the aware one, and on
+        a congested instance strictly smaller (overlapping transfers)."""
+        ctg = congested_ctg()
+        acg = row_acg()
+        aware = eas_base_schedule(ctg, acg)
+        blind = eas_base_schedule(ctg, acg, EASConfig(contention_aware=False))
+        assert blind.makespan() <= aware.makespan() + 1e-9
+
+    def test_blind_prediction_breaks_under_real_contention(self):
+        """Rebuilding the blind mapping under the real model inflates the
+        finish time of the hub task whenever transfers truly conflicted."""
+        ctg = congested_ctg()
+        acg = row_acg()
+        blind = eas_base_schedule(ctg, acg, EASConfig(contention_aware=False))
+        real = rebuild_schedule(ctg, acg, blind.mapping(), blind.pe_order())
+        real.validate_structure()
+        if any(not c.is_local for c in blind.comm_placements.values()):
+            hub_predicted = blind.placement("hub").finish
+            hub_actual = real.placement("hub").finish
+            assert hub_actual >= hub_predicted - 1e-9
+
+    def test_blind_mode_on_random_graph_runs(self):
+        ctg = generate_category(2, 0, n_tasks=40)
+        acg = mesh_4x4(shuffle_seed=100)
+        blind = eas_base_schedule(ctg, acg, EASConfig(contention_aware=False))
+        assert blind.is_complete
+        assert blind.algorithm == "eas-base-nocontention"
+
+    def test_aware_mode_remains_default(self):
+        assert EASConfig().contention_aware is True

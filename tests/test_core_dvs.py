@@ -1,0 +1,157 @@
+"""Tests for the DVS slack-reclamation post-pass (extension)."""
+
+import math
+
+import pytest
+
+from repro.arch.acg import ACG
+from repro.arch.presets import mesh_2x2, mesh_3x3
+from repro.arch.topology import Mesh2D
+from repro.baselines.edf import edf_schedule
+from repro.core.dvs import DEFAULT_LEVELS, DVSConfig, apply_dvs
+from repro.core.eas import eas_schedule
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.generator import GeneratorConfig, generate_ctg
+from repro.ctg.graph import CTG
+from repro.ctg.multimedia import av_encoder_ctg
+from repro.errors import SchedulingError
+
+from tests.conftest import uniform_task
+
+
+def acg1():
+    return ACG(Mesh2D(1, 1), pe_types=["cpu"])
+
+
+def single_task_schedule(deadline=1000.0, time=100.0, energy=80.0):
+    ctg = CTG()
+    ctg.add_task(
+        uniform_task("t", time, energy, pe_types=("cpu",), deadline=deadline)
+    )
+    return rebuild_schedule(ctg, acg1(), {"t": 0}, {0: ["t"]})
+
+
+class TestConfig:
+    def test_levels_must_include_nominal(self):
+        with pytest.raises(SchedulingError):
+            DVSConfig(levels=(1.25, 1.5))
+
+    def test_levels_must_be_stretches(self):
+        with pytest.raises(SchedulingError):
+            DVSConfig(levels=(0.5, 1.0))
+
+    def test_capability_filter(self):
+        cfg = DVSConfig(capable_types=("arm",))
+        assert cfg.supports("arm")
+        assert not cfg.supports("cpu")
+        assert DVSConfig().supports("anything")
+
+
+class TestSingleTaskScaling:
+    def test_full_slack_gives_max_level(self):
+        schedule = single_task_schedule(deadline=1000.0, time=100.0, energy=80.0)
+        scaled, report = apply_dvs(schedule)
+        # Max ladder level 2.0 fits easily: energy / 4.
+        assert report.stretch_factors["t"] == 2.0
+        assert scaled.placement("t").finish == pytest.approx(200.0)
+        assert scaled.computation_energy() == pytest.approx(20.0)
+        assert report.savings_pct == pytest.approx(75.0)
+
+    def test_tight_deadline_blocks_scaling(self):
+        schedule = single_task_schedule(deadline=100.0)
+        scaled, report = apply_dvs(schedule)
+        assert report.tasks_scaled == 0
+        assert scaled.total_energy() == schedule.total_energy()
+
+    def test_partial_slack_picks_intermediate_level(self):
+        schedule = single_task_schedule(deadline=160.0)
+        scaled, report = apply_dvs(schedule)
+        # 1.5 fits (150 <= 160) but 2.0 does not.
+        assert report.stretch_factors["t"] == 1.5
+        assert scaled.computation_energy() == pytest.approx(80.0 / 1.5**2)
+
+    def test_deadline_ignored_when_disabled(self):
+        schedule = single_task_schedule(deadline=100.0)
+        scaled, report = apply_dvs(schedule, DVSConfig(respect_deadlines=False))
+        assert report.stretch_factors["t"] == 2.0
+
+    def test_incapable_type_untouched(self):
+        schedule = single_task_schedule()
+        _scaled, report = apply_dvs(schedule, DVSConfig(capable_types=("dsp",)))
+        assert report.tasks_scaled == 0
+
+
+class TestConstraints:
+    def test_next_task_on_pe_limits_stretch(self):
+        """A follower 120 tu later caps the stretch at 1.0 (1.25 x 100 = 125 > 120)."""
+        ctg = CTG()
+        ctg.add_task(uniform_task("first", 100, 80, pe_types=("cpu",)))
+        ctg.add_task(uniform_task("second", 100, 80, pe_types=("cpu",), deadline=100000))
+        acg = acg1()
+        schedule = rebuild_schedule(ctg, acg, {"first": 0, "second": 0}, {0: ["first", "second"]})
+        # first: [0,100), second: [100,200): zero gap -> no stretch of first.
+        scaled, report = apply_dvs(schedule)
+        assert "first" not in report.stretch_factors
+
+    def test_outgoing_transaction_pins_finish(self):
+        """A producer may not stretch past its transaction's start."""
+        ctg = CTG()
+        ctg.add_task(uniform_task("p", 100, 80, deadline=100000))
+        ctg.add_task(uniform_task("c", 100, 80, deadline=100000))
+        ctg.connect("p", "c", volume=5000)
+        acg = ACG(Mesh2D(1, 2), pe_types=["cpu", "cpu"], link_bandwidth=100.0)
+        schedule = rebuild_schedule(
+            ctg, acg, {"p": 0, "c": 1}, {0: ["p"], 1: ["c"]}
+        )
+        comm = schedule.comm("p", "c")
+        scaled, report = apply_dvs(schedule)
+        # p's finish must never exceed its transaction start.
+        assert scaled.placement("p").finish <= comm.start + 1e-9
+        # The consumer may stretch into its open-ended tail slack.
+        assert scaled.comm("p", "c") == comm  # transactions untouched
+
+
+class TestOnRealSchedules:
+    def test_dvs_on_eas_encoder_saves_energy_and_meets_deadlines(self):
+        ctg = av_encoder_ctg("foreman")
+        acg = mesh_2x2()
+        eas = eas_schedule(ctg, acg)
+        scaled, report = apply_dvs(eas)
+        assert scaled.total_energy() < eas.total_energy()
+        assert scaled.deadline_misses() == []
+        assert report.savings_pct > 0
+
+    def test_dvs_preserves_structure_except_durations(self):
+        ctg = generate_ctg(GeneratorConfig(n_tasks=30, seed=5, level_width=4.0))
+        acg = mesh_3x3()
+        schedule = eas_schedule(ctg, acg)
+        scaled, _report = apply_dvs(schedule)
+        # Starts and mappings identical; communication identical.
+        for name, placement in schedule.task_placements.items():
+            assert scaled.placement(name).start == placement.start
+            assert scaled.placement(name).pe == placement.pe
+        assert scaled.comm_placements == schedule.comm_placements
+        # Resource exclusivity and dependencies still hold.
+        scaled._validate_pe_exclusivity()
+        scaled._validate_link_exclusivity()
+        scaled._validate_dependencies()
+
+    def test_dvs_on_edf_recovers_more_than_on_eas(self):
+        """EDF's fast placements leave more slack, so DVS recovers a
+        larger *fraction* there — but EAS+DVS stays the overall winner."""
+        ctg = av_encoder_ctg("akiyo")
+        acg = mesh_2x2()
+        eas = eas_schedule(ctg, acg)
+        edf = edf_schedule(ctg, acg)
+        eas_scaled, eas_rep = apply_dvs(eas)
+        edf_scaled, edf_rep = apply_dvs(edf)
+        assert eas_scaled.total_energy() <= edf_scaled.total_energy()
+
+    def test_monotone_in_ladder_richness(self):
+        """A richer level ladder can only help."""
+        ctg = av_encoder_ctg("toybox")
+        acg = mesh_2x2()
+        schedule = eas_schedule(ctg, acg)
+        few, _rep1 = apply_dvs(schedule, DVSConfig(levels=(1.0, 1.5)))
+        many, _rep2 = apply_dvs(schedule, DVSConfig(levels=DEFAULT_LEVELS))
+        assert many.total_energy() <= few.total_energy() + 1e-9

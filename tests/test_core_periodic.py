@@ -1,0 +1,128 @@
+"""Tests for periodic (pipelined) execution analysis."""
+
+import math
+
+import pytest
+
+from repro.arch.acg import ACG
+from repro.arch.presets import mesh_2x2
+from repro.arch.topology import Mesh2D
+from repro.core.eas import eas_schedule
+from repro.core.periodic import (
+    _fold,
+    is_periodic_feasible,
+    resource_bound_period,
+    scan_min_period,
+    throughput_report,
+)
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.graph import CTG
+from repro.ctg.multimedia import ENCODER_PERIOD_US, av_encoder_ctg
+from repro.errors import SchedulingError
+
+from tests.conftest import uniform_task
+
+
+def acg1():
+    return ACG(Mesh2D(1, 1), pe_types=["cpu"])
+
+
+def chain_schedule(times=(100, 50)):
+    ctg = CTG()
+    for i, t in enumerate(times):
+        ctg.add_task(uniform_task(f"t{i}", t, 1, pe_types=("cpu",)))
+    for i in range(len(times) - 1):
+        ctg.connect(f"t{i}", f"t{i + 1}")
+    order = [f"t{i}" for i in range(len(times))]
+    return rebuild_schedule(ctg, acg1(), {n: 0 for n in order}, {0: order})
+
+
+class TestFold:
+    def test_non_wrapping(self):
+        assert _fold((10, 30), 100) == [(10, 30)]
+
+    def test_wrapping(self):
+        segments = _fold((90, 110), 100)
+        assert segments == [(90, 100), (0, 10)]
+
+    def test_interval_as_long_as_period_covers_all(self):
+        assert _fold((0, 100), 100) == [(0.0, 100)]
+
+    def test_offset_multiple_periods(self):
+        assert _fold((250, 270), 100) == [(50, 70)]
+
+
+class TestFeasibility:
+    def test_makespan_always_feasible(self):
+        schedule = chain_schedule()
+        assert is_periodic_feasible(schedule, schedule.makespan())
+
+    def test_below_busy_bound_infeasible(self):
+        schedule = chain_schedule()  # 150 busy on one PE
+        assert not is_periodic_feasible(schedule, 149.0)
+
+    def test_exactly_busy_bound_feasible_for_contiguous_load(self):
+        # Tasks run back-to-back [0,150): folding at T=150 tiles exactly.
+        schedule = chain_schedule()
+        assert is_periodic_feasible(schedule, 150.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(SchedulingError):
+            is_periodic_feasible(chain_schedule(), 0)
+
+    def test_gap_schedule_nonmonotone_region_detected(self):
+        """A schedule with an idle gap can be infeasible at some T yet
+        feasible at a slightly larger one — the fold check must see it."""
+        ctg = CTG()
+        ctg.add_task(uniform_task("a", 10, 1, pe_types=("cpu",)))
+        ctg.add_task(uniform_task("b", 10, 1, pe_types=("cpu",)))
+        acg = acg1()
+        schedule = rebuild_schedule(ctg, acg, {"a": 0, "b": 0}, {0: ["a", "b"]})
+        # a:[0,10) b:[10,20): contiguous, so any T >= 20 works and T=20 tiles.
+        assert is_periodic_feasible(schedule, 20.0)
+        assert not is_periodic_feasible(schedule, 15.0)
+
+
+class TestBoundsAndScan:
+    def test_resource_bound_is_max_busy(self):
+        schedule = chain_schedule((100, 50))
+        assert resource_bound_period(schedule) == pytest.approx(150.0)
+
+    def test_scan_finds_bound_for_contiguous_schedule(self):
+        schedule = chain_schedule()
+        assert scan_min_period(schedule) == pytest.approx(150.0, rel=0.01)
+
+    def test_scan_never_below_bound_nor_above_makespan(self):
+        ctg = av_encoder_ctg("foreman")
+        schedule = eas_schedule(ctg, mesh_2x2())
+        period = scan_min_period(schedule)
+        assert resource_bound_period(schedule) - 1e-6 <= period
+        assert period <= schedule.makespan() + 1e-6
+        assert is_periodic_feasible(schedule, period)
+
+
+class TestThroughputReport:
+    def test_encoder_sustains_baseline_frame_rate(self):
+        """The EAS encoder schedule must sustain 40 fps when pipelined —
+        the paper's baseline operating point."""
+        ctg = av_encoder_ctg("foreman")
+        schedule = eas_schedule(ctg, mesh_2x2())
+        report = throughput_report(schedule)
+        assert report.min_period <= ENCODER_PERIOD_US + 1e-6
+        # Time unit is the microsecond: rate in frames/second.
+        assert report.sustainable_rate(1_000_000) >= 40.0
+
+    def test_overlap_factor_at_least_one(self):
+        ctg = av_encoder_ctg("akiyo")
+        schedule = eas_schedule(ctg, mesh_2x2())
+        report = throughput_report(schedule)
+        assert report.overlap_factor >= 1.0 - 1e-9
+        assert report.throughput == pytest.approx(1.0 / report.min_period)
+
+    def test_empty_schedule(self):
+        from repro.schedule.schedule import Schedule
+
+        ctg = CTG()
+        ctg.add_task(uniform_task("t", 10, 1))
+        report = throughput_report(Schedule(ctg, mesh_2x2()))
+        assert report.makespan == 0.0

@@ -1,0 +1,119 @@
+"""Tests for schedule reconstruction from (mapping, per-PE orders)."""
+
+import pytest
+
+from repro.arch.acg import ACG
+from repro.arch.topology import Mesh2D
+from repro.core.eas import eas_base_schedule
+from repro.core.rebuild import rebuild_schedule
+from repro.ctg.graph import CTG
+from repro.errors import InfeasibleOrderError, SchedulingError
+
+from tests.conftest import uniform_task
+
+
+def acg4():
+    return ACG(Mesh2D(2, 2), pe_types=["cpu", "dsp", "arm", "risc"])
+
+
+def chain3():
+    ctg = CTG()
+    for name in ("a", "b", "c"):
+        ctg.add_task(uniform_task(name, 10, 1))
+    ctg.connect("a", "b", volume=100)
+    ctg.connect("b", "c", volume=100)
+    return ctg
+
+
+class TestRoundTrip:
+    def test_rebuild_reproduces_eas_energy(self, diamond_ctg):
+        """Rebuilding an EAS schedule from its own mapping+orders keeps
+        energy identical (energy depends only on the mapping)."""
+        acg = acg4()
+        original = eas_base_schedule(diamond_ctg, acg)
+        rebuilt = rebuild_schedule(
+            diamond_ctg, acg, original.mapping(), original.pe_order()
+        )
+        rebuilt.validate_structure()
+        assert rebuilt.total_energy() == pytest.approx(original.total_energy())
+        assert rebuilt.mapping() == original.mapping()
+
+    def test_rebuild_no_worse_makespan_than_original(self, diamond_ctg):
+        acg = acg4()
+        original = eas_base_schedule(diamond_ctg, acg)
+        rebuilt = rebuild_schedule(
+            diamond_ctg, acg, original.mapping(), original.pe_order()
+        )
+        assert rebuilt.makespan() <= original.makespan() + 1e-6
+
+
+class TestOrderEnforcement:
+    def test_same_pe_order_respected(self):
+        ctg = CTG()
+        ctg.add_task(uniform_task("x", 10, 1))
+        ctg.add_task(uniform_task("y", 10, 1))
+        acg = acg4()
+        mapping = {"x": 0, "y": 0}
+        schedule = rebuild_schedule(ctg, acg, mapping, {0: ["y", "x"]})
+        assert schedule.placement("y").finish <= schedule.placement("x").start + 1e-9
+
+    def test_cross_pe_deadlock_detected(self):
+        """b before a on PE0 while c (after b) needs a's output: stuck."""
+        ctg = CTG()
+        ctg.add_task(uniform_task("a", 10, 1))
+        ctg.add_task(uniform_task("b", 10, 1))
+        ctg.connect("a", "b")
+        acg = acg4()
+        with pytest.raises(InfeasibleOrderError):
+            rebuild_schedule(ctg, acg, {"a": 0, "b": 0}, {0: ["b", "a"]})
+
+    def test_mapping_missing_task(self):
+        ctg = chain3()
+        with pytest.raises(SchedulingError):
+            rebuild_schedule(ctg, acg4(), {"a": 0, "b": 0}, {0: ["a", "b"]})
+
+    def test_order_mapping_mismatch(self):
+        ctg = chain3()
+        mapping = {"a": 0, "b": 0, "c": 1}
+        with pytest.raises(SchedulingError):
+            # c listed on PE0 though mapped to PE1.
+            rebuild_schedule(ctg, acg4(), mapping, {0: ["a", "b", "c"], 1: []})
+
+    def test_order_missing_task(self):
+        ctg = chain3()
+        mapping = {"a": 0, "b": 0, "c": 0}
+        with pytest.raises(SchedulingError):
+            rebuild_schedule(ctg, acg4(), mapping, {0: ["a", "b"]})
+
+    def test_infeasible_pe_type(self):
+        from repro.ctg.task import Task, TaskCosts
+
+        ctg = CTG()
+        ctg.add_task(Task("dsp-only", costs={"dsp": TaskCosts(10, 1)}))
+        acg = acg4()
+        with pytest.raises(SchedulingError):
+            # PE 0 is the cpu tile.
+            rebuild_schedule(ctg, acg, {"dsp-only": 0}, {0: ["dsp-only"]})
+
+
+class TestDeterminism:
+    def test_rebuild_deterministic(self, diamond_ctg):
+        acg = acg4()
+        original = eas_base_schedule(diamond_ctg, acg)
+        first = rebuild_schedule(diamond_ctg, acg, original.mapping(), original.pe_order())
+        second = rebuild_schedule(diamond_ctg, acg, original.mapping(), original.pe_order())
+        assert {k: (p.start, p.finish) for k, p in first.task_placements.items()} == {
+            k: (p.start, p.finish) for k, p in second.task_placements.items()
+        }
+
+    def test_rebuild_respects_dependencies_and_comm(self, chain_ctg):
+        acg = acg4()
+        # Force a split mapping so real transactions occur.
+        mapping = {"t1": 0, "t2": 3, "t3": 0}
+        orders = {0: ["t1", "t3"], 1: [], 2: [], 3: ["t2"]}
+        schedule = rebuild_schedule(chain_ctg, acg, mapping, orders)
+        schedule.validate_structure()
+        c12 = schedule.comm("t1", "t2")
+        assert not c12.is_local
+        assert c12.start >= schedule.placement("t1").finish - 1e-9
+        assert schedule.placement("t2").start >= c12.finish - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for CTG analyses: levels, longest paths, effective deadlines."""
+
+import math
+
+import pytest
+
+from repro.ctg.analysis import (
+    critical_path_length,
+    critical_path_tasks,
+    effective_deadlines,
+    longest_mean_path_from,
+    longest_mean_path_into,
+    mean_exec_times,
+    path_between,
+    sum_along,
+    task_levels,
+)
+from repro.ctg.graph import CTG
+
+from tests.conftest import uniform_task
+
+PE_TYPES = ["cpu", "dsp", "arm", "risc"]
+
+
+def layered_ctg():
+    """a -> b -> d, a -> c -> d with distinct uniform times."""
+    ctg = CTG(name="layered")
+    ctg.add_task(uniform_task("a", 10, 1))
+    ctg.add_task(uniform_task("b", 20, 1))
+    ctg.add_task(uniform_task("c", 50, 1))
+    ctg.add_task(uniform_task("d", 5, 1, deadline=200.0))
+    ctg.connect("a", "b")
+    ctg.connect("a", "c")
+    ctg.connect("b", "d")
+    ctg.connect("c", "d")
+    return ctg
+
+
+class TestLevels:
+    def test_levels(self):
+        levels = task_levels(layered_ctg())
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_independent_tasks_all_level_zero(self):
+        ctg = CTG()
+        for i in range(3):
+            ctg.add_task(uniform_task(f"t{i}", 1, 1))
+        assert set(task_levels(ctg).values()) == {0}
+
+
+class TestLongestPaths:
+    def test_into(self):
+        ctg = layered_ctg()
+        means = mean_exec_times(ctg, PE_TYPES)
+        into = longest_mean_path_into(ctg, means)
+        assert into["a"] == 10
+        assert into["b"] == 30
+        assert into["c"] == 60
+        assert into["d"] == 65  # through c, the longer branch
+
+    def test_from(self):
+        ctg = layered_ctg()
+        means = mean_exec_times(ctg, PE_TYPES)
+        down = longest_mean_path_from(ctg, means)
+        assert down["d"] == 5
+        assert down["b"] == 25
+        assert down["c"] == 55
+        assert down["a"] == 65
+
+    def test_restricted_dp_ignores_outside_cone(self):
+        ctg = layered_ctg()
+        means = mean_exec_times(ctg, PE_TYPES)
+        cone = {"a", "b", "d"}  # exclude the long c branch
+        into = longest_mean_path_into(ctg, means, restrict=cone)
+        assert "c" not in into
+        assert into["d"] == 35  # a + b + d only
+
+    def test_critical_path_length(self):
+        assert critical_path_length(layered_ctg(), PE_TYPES) == 65
+
+    def test_critical_path_tasks(self):
+        path = critical_path_tasks(layered_ctg(), PE_TYPES)
+        assert path == ["a", "c", "d"]
+
+    def test_into_from_consistency(self):
+        """For any task: into + from - own == a path length <= CP."""
+        ctg = layered_ctg()
+        means = mean_exec_times(ctg, PE_TYPES)
+        into = longest_mean_path_into(ctg, means)
+        down = longest_mean_path_from(ctg, means)
+        cp = critical_path_length(ctg, PE_TYPES)
+        for name in ctg.task_names():
+            through = into[name] + down[name] - means[name]
+            assert through <= cp + 1e-9
+
+
+class TestEffectiveDeadlines:
+    def test_propagation(self):
+        ctg = layered_ctg()
+        eff = effective_deadlines(ctg, PE_TYPES)
+        assert eff["d"] == 200
+        # b inherits d's deadline minus d's mean time.
+        assert eff["b"] == 195
+        assert eff["c"] == 195
+        # a takes the min over both branches: 195 - 50 (c) = 145.
+        assert eff["a"] == 145
+
+    def test_no_deadline_anywhere(self):
+        ctg = CTG()
+        ctg.add_task(uniform_task("x", 10, 1))
+        assert effective_deadlines(ctg, PE_TYPES)["x"] == math.inf
+
+    def test_own_deadline_tighter_than_inherited(self):
+        ctg = layered_ctg()
+        ctg.task("b").deadline = 50.0
+        eff = effective_deadlines(ctg, PE_TYPES)
+        assert eff["b"] == 50.0
+        assert eff["a"] == 30.0  # 50 - 20 beats 145
+
+    def test_slack_per_hop(self):
+        ctg = layered_ctg()
+        eff = effective_deadlines(ctg, PE_TYPES, slack_per_hop=10.0)
+        assert eff["b"] == 185
+
+
+class TestPathHelpers:
+    def test_path_between(self):
+        ctg = layered_ctg()
+        path = path_between(ctg, "a", "d")
+        assert path is not None and path[0] == "a" and path[-1] == "d"
+
+    def test_no_path(self):
+        ctg = layered_ctg()
+        assert path_between(ctg, "b", "c") is None
+
+    def test_trivial_path(self):
+        assert path_between(layered_ctg(), "a", "a") == ["a"]
+
+    def test_sum_along(self):
+        values = {"a": 1.0, "b": 2.0, "c": 4.0}
+        assert sum_along(["a", "c"], values) == 5.0

@@ -1,0 +1,183 @@
+"""Tests for the TGFF-style random benchmark generator."""
+
+import math
+
+import pytest
+
+from repro.ctg.generator import (
+    CATEGORY_PRESETS,
+    GeneratorConfig,
+    TaskTypeLibrary,
+    generate_category,
+    generate_ctg,
+)
+from repro.ctg.analysis import critical_path_length
+from repro.errors import CTGError
+from repro.rng import make_rng
+
+PE_TYPES = ["cpu", "dsp", "arm", "risc"]
+
+
+class TestStructure:
+    def test_task_count_exact(self):
+        for n in (1, 7, 50, 123):
+            ctg = generate_ctg(GeneratorConfig(n_tasks=n, seed=1))
+            assert ctg.n_tasks == n
+
+    def test_acyclic_and_connected_fanin(self):
+        ctg = generate_ctg(GeneratorConfig(n_tasks=80, seed=2))
+        order = ctg.topological_order()  # raises if cyclic
+        assert len(order) == 80
+        # Every non-first-layer task has at least one predecessor.
+        roots = ctg.sources()
+        assert len(roots) < 80
+
+    def test_edge_to_task_ratio_near_tgff(self):
+        """The paper's graphs have ~2 transactions per task."""
+        ctg = generate_ctg(GeneratorConfig(n_tasks=300, max_in_degree=3, seed=3))
+        ratio = ctg.n_edges / ctg.n_tasks
+        assert 1.0 <= ratio <= 3.0
+
+    def test_costs_cover_all_pe_types(self):
+        ctg = generate_ctg(GeneratorConfig(n_tasks=20, seed=4))
+        for task in ctg.tasks():
+            assert set(task.costs) == set(PE_TYPES)
+            for cost in task.costs.values():
+                assert cost.feasible and cost.time > 0 and cost.energy > 0
+
+    def test_task_types_reused(self):
+        ctg = generate_ctg(GeneratorConfig(n_tasks=100, n_task_types=5, seed=5))
+        types = {task.task_type for task in ctg.tasks()}
+        assert len(types) <= 5
+
+    def test_volumes_in_range(self):
+        config = GeneratorConfig(n_tasks=60, volume_range=(100.0, 200.0), seed=6)
+        ctg = generate_ctg(config)
+        for edge in ctg.edges():
+            assert 100.0 <= edge.volume <= 200.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_ctg(GeneratorConfig(n_tasks=50, seed=7))
+        b = generate_ctg(GeneratorConfig(n_tasks=50, seed=7))
+        assert a.task_names() == b.task_names()
+        assert [(e.src, e.dst, e.volume) for e in a.edges()] == [
+            (e.src, e.dst, e.volume) for e in b.edges()
+        ]
+        assert {t.name: t.deadline for t in a.tasks()} == {
+            t.name: t.deadline for t in b.tasks()
+        }
+
+    def test_different_seed_different_graph(self):
+        a = generate_ctg(GeneratorConfig(n_tasks=50, seed=8))
+        b = generate_ctg(GeneratorConfig(n_tasks=50, seed=9))
+        assert [(e.src, e.dst) for e in a.edges()] != [(e.src, e.dst) for e in b.edges()]
+
+
+class TestDeadlines:
+    def test_deadlines_respect_laxity(self):
+        config = GeneratorConfig(n_tasks=60, deadline_laxity=1.5, seed=10)
+        ctg = generate_ctg(config)
+        sinks_with_deadlines = [s for s in ctg.sinks() if ctg.task(s).has_deadline]
+        assert sinks_with_deadlines
+        cp = critical_path_length(ctg, PE_TYPES)
+        for sink in sinks_with_deadlines:
+            deadline = ctg.task(sink).deadline
+            # Laxity is relative to the per-sink longest path (with a
+            # comm estimate), which is at most ~laxity * CP-with-comm.
+            assert deadline > 0
+            assert deadline <= 1.5 * cp * 2  # generous upper sanity bound
+
+    def test_category_presets_tightness(self):
+        lax1, _ = CATEGORY_PRESETS[1]
+        lax2, _ = CATEGORY_PRESETS[2]
+        assert lax2 < lax1
+
+    def test_zero_deadline_fraction(self):
+        config = GeneratorConfig(n_tasks=40, deadline_fraction=0.0, seed=11)
+        ctg = generate_ctg(config)
+        assert ctg.deadline_tasks() == []
+
+
+class TestCategoryAPI:
+    def test_categories_distinct_and_seeded(self):
+        a = generate_category(1, 0, n_tasks=40)
+        b = generate_category(1, 0, n_tasks=40)
+        c = generate_category(1, 1, n_tasks=40)
+        assert a.name == "cat1-0"
+        assert [(e.src, e.dst) for e in a.edges()] == [(e.src, e.dst) for e in b.edges()]
+        assert [(e.src, e.dst) for e in a.edges()] != [(e.src, e.dst) for e in c.edges()]
+
+    def test_category_two_is_tighter(self):
+        """Same index: category II deadlines must be tighter on average."""
+        loose = generate_category(1, 3, n_tasks=40)
+        tight = generate_category(2, 3, n_tasks=40)
+        mean_loose = _mean_deadline_over_cp(loose)
+        mean_tight = _mean_deadline_over_cp(tight)
+        assert mean_tight < mean_loose
+
+    def test_unknown_category(self):
+        with pytest.raises(CTGError):
+            generate_category(3, 0)
+
+    def test_overrides_forwarded(self):
+        ctg = generate_category(1, 0, n_tasks=25, deadline_fraction=0.0)
+        assert ctg.n_tasks == 25
+        assert ctg.deadline_tasks() == []
+
+
+class TestConfigValidation:
+    def test_bad_n_tasks(self):
+        with pytest.raises(CTGError):
+            GeneratorConfig(n_tasks=0)
+
+    def test_bad_degrees(self):
+        with pytest.raises(CTGError):
+            GeneratorConfig(min_in_degree=3, max_in_degree=2)
+
+    def test_bad_laxity(self):
+        with pytest.raises(CTGError):
+            GeneratorConfig(deadline_laxity=0.0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(CTGError):
+            GeneratorConfig(deadline_fraction=1.5)
+
+
+class TestTypeLibrary:
+    def test_affinity_speedup(self):
+        from repro.arch.pe import STANDARD_PE_TYPES
+
+        config = GeneratorConfig(affinity_probability=1.0, seed=13)
+        library = TaskTypeLibrary(config, make_rng(13))
+        for spec in library.types:
+            assert spec.affinity is not None
+            affine_cost = spec.costs[spec.affinity]
+            # The affine time beats what that PE class would cost without
+            # the affinity bonus, even at the most favourable jitter.
+            plain_lower_bound = (
+                spec.base_time
+                * STANDARD_PE_TYPES[spec.affinity].speed_factor
+                * (1.0 - config.time_jitter)
+            )
+            assert affine_cost.time < plain_lower_bound
+
+    def test_no_affinity(self):
+        config = GeneratorConfig(affinity_probability=0.0, seed=14)
+        library = TaskTypeLibrary(config, make_rng(14))
+        assert all(spec.affinity is None for spec in library.types)
+
+    def test_heterogeneity_present(self):
+        """Across PE classes, times must genuinely differ (nonzero VAR_r)."""
+        config = GeneratorConfig(seed=15)
+        library = TaskTypeLibrary(config, make_rng(15))
+        for spec in library.types:
+            times = [c.time for c in spec.costs.values()]
+            assert max(times) > min(times)
+
+
+def _mean_deadline_over_cp(ctg):
+    cp = critical_path_length(ctg, PE_TYPES)
+    deadlines = [ctg.task(s).deadline for s in ctg.deadline_tasks()]
+    return sum(deadlines) / len(deadlines) / cp

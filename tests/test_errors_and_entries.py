@@ -1,0 +1,90 @@
+"""Tests for the exception hierarchy and placement records."""
+
+import pytest
+
+from repro.arch.topology import Link
+from repro.errors import (
+    ArchitectureError,
+    CTGError,
+    InfeasibleOrderError,
+    ReproError,
+    RoutingError,
+    ScheduleValidationError,
+    SchedulingError,
+    SerializationError,
+)
+from repro.schedule.entries import CommPlacement, TaskPlacement
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CTGError,
+            ArchitectureError,
+            RoutingError,
+            SchedulingError,
+            InfeasibleOrderError,
+            ScheduleValidationError,
+            SerializationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_routing_is_architecture_error(self):
+        assert issubclass(RoutingError, ArchitectureError)
+
+    def test_infeasible_order_is_scheduling_error(self):
+        assert issubclass(InfeasibleOrderError, SchedulingError)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise RoutingError("no route")
+
+
+class TestTaskPlacement:
+    def test_duration(self):
+        placement = TaskPlacement("t", pe=0, start=10, finish=35, energy=5)
+        assert placement.duration == 25
+
+    def test_repr_contains_ids(self):
+        placement = TaskPlacement("mytask", pe=3, start=0, finish=1, energy=5)
+        text = repr(placement)
+        assert "mytask" in text and "PE3" in text
+
+    def test_frozen(self):
+        placement = TaskPlacement("t", pe=0, start=0, finish=1, energy=5)
+        with pytest.raises(AttributeError):
+            placement.start = 99
+
+
+class TestCommPlacement:
+    def make(self, links=()):
+        return CommPlacement(
+            src_task="a",
+            dst_task="b",
+            volume=100,
+            src_pe=0,
+            dst_pe=1,
+            start=5,
+            finish=9,
+            links=tuple(links),
+            energy=1.5,
+        )
+
+    def test_duration_and_locality(self):
+        local = self.make()
+        assert local.is_local
+        assert local.duration == 4
+        moving = self.make([Link((0, 0), (0, 1))])
+        assert not moving.is_local
+
+    def test_n_hops_counts_routers(self):
+        moving = self.make([Link((0, 0), (0, 1)), Link((0, 1), (0, 2))])
+        assert moving.n_hops == 3  # 2 links -> 3 routers
+
+    def test_frozen_and_hashable_fields(self):
+        comm = self.make()
+        with pytest.raises(AttributeError):
+            comm.volume = 1

@@ -1,0 +1,85 @@
+"""Property-based tests for the DVS post-pass and rebuild interplay."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import hetero_mesh
+from repro.core.dvs import DVSConfig, apply_dvs
+from repro.core.eas import eas_base_schedule
+from repro.ctg.generator import GeneratorConfig, generate_ctg
+
+SLOW = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+ctg_params = st.tuples(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([1.3, 2.0, 3.0]),
+)
+
+
+def build(params):
+    n_tasks, seed, laxity = params
+    return generate_ctg(
+        GeneratorConfig(n_tasks=n_tasks, seed=seed, deadline_laxity=laxity, level_width=4.0)
+    )
+
+
+@SLOW
+@given(ctg_params)
+def test_dvs_never_increases_energy(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    schedule = eas_base_schedule(ctg, acg)
+    scaled, report = apply_dvs(schedule)
+    assert scaled.total_energy() <= schedule.total_energy() + 1e-9
+    assert report.energy_after <= report.energy_before + 1e-9
+
+
+@SLOW
+@given(ctg_params)
+def test_dvs_never_introduces_misses(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    schedule = eas_base_schedule(ctg, acg)
+    scaled, _report = apply_dvs(schedule)
+    assert len(scaled.deadline_misses()) <= len(schedule.deadline_misses())
+
+
+@SLOW
+@given(ctg_params)
+def test_dvs_preserves_starts_mapping_comms(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    schedule = eas_base_schedule(ctg, acg)
+    scaled, _report = apply_dvs(schedule)
+    assert scaled.comm_placements == schedule.comm_placements
+    for name, placement in schedule.task_placements.items():
+        assert scaled.placement(name).start == placement.start
+        assert scaled.placement(name).pe == placement.pe
+
+
+@SLOW
+@given(ctg_params)
+def test_dvs_keeps_resource_exclusivity(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    schedule = eas_base_schedule(ctg, acg)
+    scaled, _report = apply_dvs(schedule)
+    scaled._validate_pe_exclusivity()
+    scaled._validate_link_exclusivity()
+    scaled._validate_dependencies()
+
+
+@SLOW
+@given(ctg_params)
+def test_dvs_stretch_factors_from_ladder(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    schedule = eas_base_schedule(ctg, acg)
+    cfg = DVSConfig()
+    _scaled, report = apply_dvs(schedule, cfg)
+    for factor in report.stretch_factors.values():
+        assert factor in cfg.levels
+        assert factor > 1.0

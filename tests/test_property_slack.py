@@ -1,0 +1,128 @@
+"""Property-based tests for Step-1 budgeted deadlines.
+
+Invariants pinned here, over arbitrary generated DAGs:
+
+1. a deadline task's BD equals its deadline exactly;
+2. BDs are monotone along every dependency edge;
+3. every BD is at least the task's longest mean prefix *scaled by the
+   path's slack ratio* — in particular, with non-negative slack,
+   BD >= mean prefix;
+4. tasks outside every deadline cone have infinite BD.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.presets import hetero_mesh
+from repro.core.slack import compute_budgets, weight_uniform
+from repro.ctg.analysis import longest_mean_path_into, mean_exec_times
+from repro.ctg.generator import GeneratorConfig, generate_ctg
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+ctg_params = st.tuples(
+    st.integers(min_value=2, max_value=35),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from([1.1, 1.5, 2.0]),
+    st.sampled_from([0.0, 0.6, 1.0]),  # deadline fraction
+)
+
+
+def build(params):
+    n_tasks, seed, laxity, fraction = params
+    return generate_ctg(
+        GeneratorConfig(
+            n_tasks=n_tasks,
+            seed=seed,
+            deadline_laxity=laxity,
+            deadline_fraction=fraction,
+            level_width=4.0,
+        )
+    )
+
+
+@SLOW
+@given(ctg_params)
+def test_deadline_task_bd_is_its_deadline(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg)
+    for name in ctg.deadline_tasks():
+        assert budgets[name].budgeted_deadline <= ctg.task(name).deadline + 1e-6
+
+
+@SLOW
+@given(ctg_params)
+def test_bd_monotone_along_edges(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg)
+    for edge in ctg.edges():
+        bd_src = budgets[edge.src].budgeted_deadline
+        bd_dst = budgets[edge.dst].budgeted_deadline
+        if math.isinf(bd_dst):
+            continue
+        assert bd_src <= bd_dst + 1e-6
+
+
+@SLOW
+@given(ctg_params)
+def test_bd_at_least_mean_prefix_when_slack_nonnegative(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg)
+    means = mean_exec_times(ctg, acg.pe_type_names())
+    prefix = longest_mean_path_into(ctg, means)
+    # Laxity >= 1 in the generator => deadlines sit above the mean path
+    # (with comm estimates), so slack is non-negative and BD must cover
+    # the mean prefix of each task.
+    for name in ctg.task_names():
+        bd = budgets[name].budgeted_deadline
+        if math.isinf(bd):
+            continue
+        assert bd >= prefix[name] - 1e-6 or bd >= means[name] - 1e-6
+
+
+@SLOW
+@given(ctg_params)
+def test_tasks_outside_cones_unconstrained(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg)
+    deadline_tasks = set(ctg.deadline_tasks())
+    in_cone = set(deadline_tasks)
+    for d in deadline_tasks:
+        in_cone |= ctg.ancestors(d)
+    for name in ctg.task_names():
+        if name not in in_cone:
+            assert math.isinf(budgets[name].budgeted_deadline)
+        else:
+            assert math.isfinite(budgets[name].budgeted_deadline)
+
+
+@SLOW
+@given(ctg_params)
+def test_uniform_policy_also_satisfies_invariants(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg, weight_policy=weight_uniform)
+    for edge in ctg.edges():
+        bd_src = budgets[edge.src].budgeted_deadline
+        bd_dst = budgets[edge.dst].budgeted_deadline
+        if math.isfinite(bd_dst):
+            assert bd_src <= bd_dst + 1e-6
+
+
+@SLOW
+@given(ctg_params)
+def test_weights_nonnegative_and_stats_consistent(params):
+    ctg = build(params)
+    acg = hetero_mesh(2, 2)
+    budgets = compute_budgets(ctg, acg)
+    for budget in budgets.values():
+        assert budget.weight >= 0
+        assert budget.mean_time > 0
+        assert budget.stats.var_time >= 0
+        assert budget.stats.var_energy >= 0

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the schedule-table substrate.
+
+The schedule tables are the load-bearing data structure of every
+scheduler; these tests pin their algebra: reservations never overlap,
+``find_earliest`` always returns the *earliest* feasible start, and
+merging busy lists is a sound union.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.table import ScheduleTable, find_gap, merge_busy
+
+# Non-degenerate intervals over a small domain to force collisions.
+interval = st.tuples(
+    st.integers(min_value=0, max_value=400),
+    st.integers(min_value=1, max_value=40),
+).map(lambda t: (float(t[0]), float(t[0] + t[1])))
+
+interval_lists = st.lists(st.lists(interval, max_size=8), max_size=5)
+
+
+def fill_table(intervals):
+    """Insert greedily, skipping conflicts; returns the table."""
+    table = ScheduleTable()
+    for start, end in intervals:
+        if table.is_free(start, end):
+            table.reserve(start, end)
+    return table
+
+
+class TestReservationInvariants:
+    @given(st.lists(interval, max_size=30))
+    def test_intervals_sorted_and_disjoint(self, intervals):
+        table = fill_table(intervals)
+        busy = table.intervals()
+        for (s1, e1), (s2, e2) in zip(busy, busy[1:]):
+            assert e1 <= s2 + 1e-9
+            assert s1 <= e1 and s2 <= e2
+
+    @given(st.lists(interval, max_size=30))
+    def test_busy_time_is_sum_of_intervals(self, intervals):
+        table = fill_table(intervals)
+        assert table.busy_time() == sum(e - s for s, e in table.intervals())
+
+    @given(st.lists(interval, max_size=20), interval)
+    def test_release_inverts_reserve(self, intervals, extra):
+        table = fill_table(intervals)
+        start, end = extra
+        if table.is_free(start, end):
+            before = table.intervals()
+            table.reserve(start, end)
+            table.release(start, end)
+            assert table.intervals() == before
+
+
+class TestFindEarliestProperties:
+    @given(
+        st.lists(interval, max_size=20),
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=0.5, max_value=60),
+    )
+    def test_result_fits_and_is_after_ready(self, intervals, ready, duration):
+        table = fill_table(intervals)
+        start = table.find_earliest(ready, duration)
+        assert start >= ready
+        assert table.is_free(start, start + duration)
+
+    @given(
+        st.lists(interval, max_size=12),
+        st.floats(min_value=0, max_value=500),
+        st.floats(min_value=0.5, max_value=60),
+    )
+    @settings(max_examples=60)
+    def test_result_is_earliest_on_grid(self, intervals, ready, duration):
+        """No grid point strictly before the result also fits."""
+        table = fill_table(intervals)
+        start = table.find_earliest(ready, duration)
+        # Candidate earlier starts: the ready time and every busy end.
+        candidates = [ready] + [e for _s, e in table.intervals() if ready <= e < start]
+        for candidate in candidates:
+            if candidate < start - 1e-9:
+                assert not table.is_free(candidate, candidate + duration)
+
+    @given(st.lists(interval, max_size=20), st.floats(min_value=0, max_value=500))
+    def test_zero_duration_always_ready(self, intervals, ready):
+        table = fill_table(intervals)
+        assert table.find_earliest(ready, 0.0) == ready
+
+
+class TestMergeProperties:
+    @given(interval_lists)
+    def test_merge_is_sorted_and_disjoint(self, lists):
+        tables = [fill_table(lst).intervals() for lst in lists]
+        merged = merge_busy(tables)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2  # strictly disjoint after coalescing
+        for s, e in merged:
+            assert s <= e
+
+    @given(interval_lists)
+    def test_merge_covers_every_input_point(self, lists):
+        tables = [fill_table(lst).intervals() for lst in lists]
+        merged = merge_busy(tables)
+
+        def covered(x):
+            return any(s <= x <= e for s, e in merged)
+
+        for intervals in tables:
+            for s, e in intervals:
+                assert covered(s) and covered(e) and covered((s + e) / 2)
+
+    @given(interval_lists, st.floats(min_value=0, max_value=500), st.floats(min_value=0.5, max_value=50))
+    def test_gap_in_merge_free_in_all_inputs(self, lists, ready, duration):
+        tables = [fill_table(lst) for lst in lists]
+        merged = merge_busy([t.intervals() for t in tables])
+        start = find_gap(merged, ready, duration)
+        for table in tables:
+            assert table.is_free(start, start + duration)

@@ -1,0 +1,95 @@
+"""Property-based tests for the flit-level wormhole simulator.
+
+Invariants over random packet sets on random meshes:
+
+1. every packet is delivered (XY routing is deadlock-free);
+2. latency is at least the contention-free pipeline latency;
+3. flit conservation: each packet crosses each of its links exactly
+   ``n_flits`` times (counted via link busy cycles);
+4. a packet alone on the network achieves exactly the ideal latency.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.acg import ACG
+from repro.arch.topology import Mesh2D
+from repro.sim.wormhole import PacketSpec, WormholeConfig, simulate_wormhole
+
+SLOW = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def packet_sets(draw):
+    rows = draw(st.integers(min_value=1, max_value=3))
+    cols = draw(st.integers(min_value=2, max_value=4))
+    acg = ACG(
+        Mesh2D(rows, cols),
+        pe_types=["risc"] * (rows * cols),
+        link_bandwidth=64.0,
+    )
+    n_packets = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for i in range(n_packets):
+        src = draw(st.integers(min_value=0, max_value=acg.n_pes - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=acg.n_pes - 1).filter(lambda d: d != src)
+        )
+        volume = draw(st.floats(min_value=1.0, max_value=64.0 * 40))
+        inject = draw(st.floats(min_value=0.0, max_value=50.0))
+        specs.append(PacketSpec(f"p{i}", src, dst, volume, inject))
+    buffers = draw(st.integers(min_value=1, max_value=3))
+    return acg, specs, WormholeConfig(buffer_flits=buffers)
+
+
+@SLOW
+@given(packet_sets())
+def test_all_packets_delivered(case):
+    acg, specs, cfg = case
+    report = simulate_wormhole(acg, specs, cfg)
+    assert set(report.packets) == {s.name for s in specs}
+    for result in report.packets.values():
+        assert result.delivered_cycle > result.inject_cycle
+
+
+@SLOW
+@given(packet_sets())
+def test_latency_at_least_ideal(case):
+    acg, specs, cfg = case
+    report = simulate_wormhole(acg, specs, cfg)
+    for result in report.packets.values():
+        assert result.latency_cycles >= result.ideal_latency_cycles
+
+
+@SLOW
+@given(packet_sets())
+def test_flit_conservation_on_links(case):
+    acg, specs, cfg = case
+    report = simulate_wormhole(acg, specs, cfg)
+    expected = 0
+    for spec in specs:
+        n_flits = max(1, math.ceil(spec.volume_bits / cfg.flit_size_bits))
+        hops = len(acg.route(spec.src_pe, spec.dst_pe).links)
+        expected += n_flits * hops
+    assert sum(report.link_busy_cycles.values()) == expected
+
+
+@SLOW
+@given(packet_sets())
+def test_single_packet_achieves_ideal(case):
+    acg, specs, cfg = case
+    spec = specs[0]
+    report = simulate_wormhole(acg, [spec], cfg)
+    result = report.packets[spec.name]
+    assert result.latency_cycles == result.ideal_latency_cycles
+
+
+@SLOW
+@given(packet_sets())
+def test_stall_accounting_consistent(case):
+    acg, specs, cfg = case
+    report = simulate_wormhole(acg, specs, cfg)
+    assert report.total_stall_cycles() >= 0
+    assert report.average_latency_cycles() >= 1.0

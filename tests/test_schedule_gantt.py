@@ -1,0 +1,59 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.arch.acg import ACG
+from repro.arch.topology import Mesh2D
+from repro.core.eas import eas_base_schedule
+from repro.ctg.graph import CTG
+from repro.schedule.gantt import render_gantt
+from repro.schedule.schedule import Schedule
+
+from tests.conftest import uniform_task
+
+
+def acg4():
+    return ACG(Mesh2D(2, 2), pe_types=["cpu", "dsp", "arm", "risc"])
+
+
+def test_empty_schedule():
+    ctg = CTG()
+    ctg.add_task(uniform_task("t", 10, 1))
+    schedule = Schedule(ctg, acg4())
+    assert "empty" in render_gantt(schedule)
+
+
+def test_gantt_has_one_row_per_pe(diamond_ctg):
+    schedule = eas_base_schedule(diamond_ctg, acg4())
+    text = render_gantt(schedule)
+    lines = text.splitlines()
+    pe_rows = [line for line in lines if line.startswith("PE")]
+    assert len(pe_rows) == 4
+
+
+def test_gantt_width_respected(diamond_ctg):
+    schedule = eas_base_schedule(diamond_ctg, acg4())
+    text = render_gantt(schedule, width=40)
+    for line in text.splitlines():
+        if line.startswith("PE"):
+            # 40 cells between the pipes.
+            body = line.split("|")[1]
+            assert len(body) == 40
+
+
+def test_gantt_marks_busy_cells(diamond_ctg):
+    schedule = eas_base_schedule(diamond_ctg, acg4())
+    text = render_gantt(schedule)
+    busy_cells = sum(
+        1
+        for line in text.splitlines()
+        if line.startswith("PE")
+        for ch in line.split("|")[1]
+        if ch != " "
+    )
+    assert busy_cells > 0
+
+
+def test_gantt_links_rows(chain_ctg):
+    schedule = eas_base_schedule(chain_ctg, acg4())
+    with_links = render_gantt(schedule, include_links=True)
+    without = render_gantt(schedule, include_links=False)
+    assert len(with_links.splitlines()) >= len(without.splitlines())

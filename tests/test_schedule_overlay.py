@@ -1,0 +1,108 @@
+"""Tests for committed resource tables and the tentative overlay."""
+
+import pytest
+
+from repro.arch.topology import Link
+from repro.schedule.overlay import ResourceTables
+
+
+class TestResourceTables:
+    def test_lazy_table_creation(self):
+        tables = ResourceTables()
+        assert tables.busy("never-seen") == []
+        assert tables.find_earliest("never-seen", 5.0, 10.0) == 5.0
+
+    def test_reserve_visible(self):
+        tables = ResourceTables()
+        tables.reserve(0, 10, 20)
+        assert tables.busy(0) == [(10, 20)]
+        assert tables.find_earliest(0, 10, 5) == 20
+
+    def test_mixed_key_types(self):
+        tables = ResourceTables()
+        link = Link((0, 0), (0, 1))
+        tables.reserve(0, 0, 10)        # PE index key
+        tables.reserve(link, 5, 15)     # link key
+        assert tables.busy(0) == [(0, 10)]
+        assert tables.busy(link) == [(5, 15)]
+
+    def test_copy_is_deep(self):
+        tables = ResourceTables()
+        tables.reserve("r", 0, 10)
+        clone = tables.copy()
+        clone.reserve("r", 10, 20)
+        assert tables.busy("r") == [(0, 10)]
+        assert clone.busy("r") == [(0, 10), (10, 20)]
+
+    def test_release(self):
+        tables = ResourceTables()
+        tables.reserve("r", 0, 10)
+        tables.release("r", 0, 10)
+        assert tables.busy("r") == []
+
+
+class TestTentativeOverlay:
+    def test_overlay_sees_base(self):
+        tables = ResourceTables()
+        tables.reserve("r", 0, 10)
+        overlay = tables.overlay()
+        assert overlay.find_earliest("r", 0, 5) == 10
+
+    def test_tentative_reservation_visible_to_overlay_only(self):
+        tables = ResourceTables()
+        overlay = tables.overlay()
+        overlay.reserve("r", 0, 10)
+        assert overlay.find_earliest("r", 0, 5) == 10
+        # The committed table is untouched.
+        assert tables.find_earliest("r", 0, 5) == 0
+
+    def test_drop_restores(self):
+        tables = ResourceTables()
+        overlay = tables.overlay()
+        overlay.reserve("r", 0, 10)
+        overlay.drop()
+        assert overlay.find_earliest("r", 0, 5) == 0
+
+    def test_commit_applies(self):
+        tables = ResourceTables()
+        overlay = tables.overlay()
+        overlay.reserve("r", 0, 10)
+        overlay.commit()
+        assert tables.busy("r") == [(0, 10)]
+        # Commit clears the overlay; a second commit is a no-op.
+        overlay.commit()
+        assert tables.busy("r") == [(0, 10)]
+
+    def test_path_query_merges_links(self):
+        tables = ResourceTables()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        tables.reserve(a, 0, 10)
+        tables.reserve(b, 15, 25)
+        overlay = tables.overlay()
+        # Needs 5 units free on BOTH links simultaneously.
+        assert overlay.find_earliest_on_path([a, b], 0, 5) == 10
+        assert overlay.find_earliest_on_path([a, b], 0, 6) == 25
+
+    def test_path_reserve_blocks_later_transactions(self):
+        tables = ResourceTables()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (1, 1))
+        overlay = tables.overlay()
+        start = overlay.find_earliest_on_path([a, b], 0, 10)
+        overlay.reserve_on_path([a, b], start, start + 10)
+        # A second transaction sharing link `a` must queue behind it.
+        assert overlay.find_earliest_on_path([a], 0, 5) == 10
+        # A transaction on a disjoint link is unaffected.
+        c = Link((1, 0), (1, 1))
+        assert overlay.find_earliest_on_path([c], 0, 5) == 0
+
+    def test_empty_path_returns_ready(self):
+        tables = ResourceTables()
+        overlay = tables.overlay()
+        assert overlay.find_earliest_on_path([], 33.0, 100.0) == 33.0
+
+    def test_zero_duration_tentative_reservation_ignored(self):
+        tables = ResourceTables()
+        overlay = tables.overlay()
+        overlay.reserve("r", 5, 5)
+        overlay.commit()
+        assert tables.busy("r") == []

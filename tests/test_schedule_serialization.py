@@ -1,0 +1,88 @@
+"""Tests for schedule JSON serialisation."""
+
+import pytest
+
+from repro.arch.presets import mesh_2x2, mesh_3x3
+from repro.core.eas import eas_schedule
+from repro.ctg.multimedia import av_encoder_ctg
+from repro.errors import SerializationError
+from repro.schedule.serialization import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.sim.replay import simulate_schedule
+
+
+@pytest.fixture
+def encoder_schedule():
+    ctg = av_encoder_ctg("foreman")
+    acg = mesh_2x2()
+    return ctg, acg, eas_schedule(ctg, acg)
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, encoder_schedule):
+        ctg, acg, schedule = encoder_schedule
+        restored = schedule_from_json(schedule_to_json(schedule), ctg, acg)
+        assert restored.algorithm == schedule.algorithm
+        assert restored.mapping() == schedule.mapping()
+        assert restored.total_energy() == pytest.approx(schedule.total_energy())
+        assert restored.makespan() == pytest.approx(schedule.makespan())
+        assert restored.task_placements == schedule.task_placements
+        assert restored.comm_placements == schedule.comm_placements
+
+    def test_restored_schedule_validates_and_replays(self, encoder_schedule):
+        ctg, acg, schedule = encoder_schedule
+        restored = schedule_from_json(schedule_to_json(schedule), ctg, acg)
+        restored.validate_structure()
+        simulate_schedule(restored)
+
+    def test_json_deterministic(self, encoder_schedule):
+        _ctg, _acg, schedule = encoder_schedule
+        assert schedule_to_json(schedule) == schedule_to_json(schedule)
+
+    def test_runtime_preserved(self, encoder_schedule):
+        ctg, acg, schedule = encoder_schedule
+        restored = schedule_from_json(schedule_to_json(schedule), ctg, acg)
+        assert restored.runtime_seconds == schedule.runtime_seconds
+
+
+class TestMismatchDetection:
+    def test_wrong_ctg_rejected(self, encoder_schedule):
+        _ctg, acg, schedule = encoder_schedule
+        other = av_encoder_ctg("akiyo")  # different name
+        with pytest.raises(SerializationError, match="computed for CTG"):
+            schedule_from_json(schedule_to_json(schedule), other, acg)
+
+    def test_wrong_platform_rejected(self, encoder_schedule):
+        ctg, _acg, schedule = encoder_schedule
+        with pytest.raises(SerializationError, match="platform"):
+            schedule_from_json(schedule_to_json(schedule), ctg, mesh_3x3())
+
+    def test_invalid_json(self, encoder_schedule):
+        ctg, acg, _schedule = encoder_schedule
+        with pytest.raises(SerializationError):
+            schedule_from_json("{", ctg, acg)
+
+    def test_wrong_format_marker(self, encoder_schedule):
+        ctg, acg, _schedule = encoder_schedule
+        with pytest.raises(SerializationError):
+            schedule_from_dict({"format": "nope", "version": 1}, ctg, acg)
+
+    def test_unknown_task_rejected(self, encoder_schedule):
+        ctg, acg, schedule = encoder_schedule
+        data = schedule_to_dict(schedule)
+        data["tasks"][0]["task"] = "phantom"
+        with pytest.raises(SerializationError):
+            schedule_from_dict(data, ctg, acg)
+
+    def test_missing_fields(self, encoder_schedule):
+        ctg, acg, _schedule = encoder_schedule
+        with pytest.raises(SerializationError):
+            schedule_from_dict(
+                {"format": "repro-schedule", "version": 1, "ctg": ctg.name},
+                ctg,
+                acg,
+            )

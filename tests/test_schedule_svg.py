@@ -1,0 +1,78 @@
+"""Tests for the SVG renderers."""
+
+import pytest
+
+from repro.arch.presets import mesh_2x2, mesh_3x3
+from repro.core.eas import eas_schedule
+from repro.ctg.multimedia import av_encoder_ctg
+from repro.schedule.svg import render_platform_svg, render_schedule_svg
+
+
+@pytest.fixture
+def encoder_schedule():
+    ctg = av_encoder_ctg("foreman")
+    return eas_schedule(ctg, mesh_2x2())
+
+
+class TestScheduleSVG:
+    def test_well_formed_document(self, encoder_schedule):
+        svg = render_schedule_svg(encoder_schedule)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<svg") == 1
+        # Every rect opened is closed (self-contained tags with title).
+        assert svg.count("<rect") == svg.count("</rect>")
+
+    def test_one_rect_per_task(self, encoder_schedule):
+        svg = render_schedule_svg(encoder_schedule, include_links=False)
+        assert svg.count("<rect") == len(encoder_schedule.task_placements)
+
+    def test_link_lanes_optional(self, encoder_schedule):
+        with_links = render_schedule_svg(encoder_schedule, include_links=True)
+        without = render_schedule_svg(encoder_schedule, include_links=False)
+        assert len(with_links) >= len(without)
+
+    def test_deadline_markers_present(self, encoder_schedule):
+        svg = render_schedule_svg(encoder_schedule)
+        assert "stroke-dasharray" in svg
+        assert "d=25000" in svg
+
+    def test_title_mentions_energy(self, encoder_schedule):
+        svg = render_schedule_svg(encoder_schedule)
+        assert "energy" in svg
+        assert "av-enc-foreman" in svg
+
+    def test_empty_schedule_renders(self):
+        from repro.ctg.graph import CTG
+        from repro.schedule.schedule import Schedule
+        from tests.conftest import uniform_task
+
+        ctg = CTG()
+        ctg.add_task(uniform_task("t", 10, 1))
+        svg = render_schedule_svg(Schedule(ctg, mesh_2x2()))
+        assert svg.startswith("<svg")
+
+
+class TestPlatformSVG:
+    def test_one_tile_per_pe(self, encoder_schedule):
+        svg = render_platform_svg(encoder_schedule)
+        assert svg.count("<rect") == encoder_schedule.acg.n_pes
+
+    def test_bare_acg_accepted(self):
+        svg = render_platform_svg(acg=mesh_3x3())
+        assert svg.count("<rect") == 9
+        assert "PE0" in svg and "PE8" in svg
+
+    def test_requires_some_input(self):
+        with pytest.raises(ValueError):
+            render_platform_svg()
+
+    def test_mapping_annotations(self, encoder_schedule):
+        svg = render_platform_svg(encoder_schedule)
+        # At least one known task name appears on a tile.
+        assert "vme" in svg or "more" in svg
+
+    def test_links_drawn(self, encoder_schedule):
+        svg = render_platform_svg(encoder_schedule)
+        # 2x2 mesh: 8 directed links.
+        assert svg.count("<line") == 8

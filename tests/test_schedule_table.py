@@ -1,0 +1,153 @@
+"""Unit tests for interval schedule tables (reserve / find_earliest / merge)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedule.table import ScheduleTable, find_gap, merge_busy
+
+
+class TestReserve:
+    def test_reserve_and_query(self):
+        table = ScheduleTable()
+        table.reserve(10, 20)
+        assert table.intervals() == [(10, 20)]
+        assert table.busy_time() == 10
+        assert table.horizon() == 20
+
+    def test_overlap_rejected(self):
+        table = ScheduleTable([(10, 20)])
+        with pytest.raises(SchedulingError):
+            table.reserve(15, 25)
+
+    def test_containing_overlap_rejected(self):
+        table = ScheduleTable([(10, 20)])
+        with pytest.raises(SchedulingError):
+            table.reserve(5, 25)
+
+    def test_adjacent_reservations_allowed(self):
+        table = ScheduleTable([(10, 20)])
+        table.reserve(20, 30)
+        table.reserve(0, 10)
+        assert table.intervals() == [(0, 10), (10, 20), (20, 30)]
+
+    def test_zero_duration_is_noop(self):
+        table = ScheduleTable()
+        table.reserve(5, 5)
+        assert table.intervals() == []
+
+    def test_inverted_interval_rejected_at_construction(self):
+        with pytest.raises(SchedulingError):
+            ScheduleTable([(20, 10)])
+
+    def test_overlapping_intervals_rejected_at_construction(self):
+        with pytest.raises(SchedulingError):
+            ScheduleTable([(0, 10), (5, 15)])
+
+
+class TestRelease:
+    def test_release_exact(self):
+        table = ScheduleTable([(10, 20), (30, 40)])
+        table.release(10, 20)
+        assert table.intervals() == [(30, 40)]
+
+    def test_release_unknown_raises(self):
+        table = ScheduleTable([(10, 20)])
+        with pytest.raises(SchedulingError):
+            table.release(11, 19)
+
+    def test_release_then_reserve_again(self):
+        table = ScheduleTable([(10, 20)])
+        table.release(10, 20)
+        table.reserve(12, 18)
+        assert table.intervals() == [(12, 18)]
+
+
+class TestIsFree:
+    def test_free_before_and_after(self):
+        table = ScheduleTable([(10, 20)])
+        assert table.is_free(0, 10)
+        assert table.is_free(20, 30)
+        assert not table.is_free(9, 11)
+        assert not table.is_free(19, 21)
+        assert not table.is_free(12, 15)
+
+    def test_empty_table_is_free_everywhere(self):
+        assert ScheduleTable().is_free(0, 1e9)
+
+
+class TestFindEarliest:
+    def test_empty_table_returns_ready(self):
+        assert ScheduleTable().find_earliest(42.0, 10.0) == 42.0
+
+    def test_fits_before_first_interval(self):
+        table = ScheduleTable([(100, 200)])
+        assert table.find_earliest(0, 50) == 0
+
+    def test_pushed_past_blocking_interval(self):
+        table = ScheduleTable([(0, 100)])
+        assert table.find_earliest(50, 10) == 100
+
+    def test_gap_between_intervals(self):
+        table = ScheduleTable([(0, 100), (150, 300)])
+        assert table.find_earliest(0, 50) == 100
+        assert table.find_earliest(0, 60) == 300
+
+    def test_ready_inside_gap(self):
+        table = ScheduleTable([(0, 100), (200, 300)])
+        assert table.find_earliest(120, 50) == 120
+        assert table.find_earliest(120, 90) == 300
+
+    def test_zero_duration_returns_ready_even_inside_busy(self):
+        table = ScheduleTable([(0, 100)])
+        assert table.find_earliest(50, 0) == 50
+
+    def test_result_is_actually_free(self):
+        table = ScheduleTable([(5, 15), (20, 30), (32, 40)])
+        for ready in (0, 6, 14, 21, 33, 50):
+            for dur in (1, 3, 7, 20):
+                start = table.find_earliest(ready, dur)
+                assert start >= ready
+                assert table.is_free(start, start + dur)
+
+
+class TestFindGap:
+    def test_standalone_matches_table(self):
+        busy = [(0.0, 10.0), (12.0, 20.0)]
+        assert find_gap(busy, 0, 2) == 10.0
+        assert find_gap(busy, 0, 3) == 20.0
+
+    def test_no_busy(self):
+        assert find_gap([], 7.5, 100) == 7.5
+
+
+class TestMergeBusy:
+    def test_disjoint_lists(self):
+        merged = merge_busy([[(0, 10)], [(20, 30)]])
+        assert merged == [(0, 10), (20, 30)]
+
+    def test_overlapping_lists_coalesce(self):
+        merged = merge_busy([[(0, 10), (25, 35)], [(5, 20)]])
+        assert merged == [(0, 20), (25, 35)]
+
+    def test_adjacent_coalesce(self):
+        merged = merge_busy([[(0, 10)], [(10, 20)]])
+        assert merged == [(0, 20)]
+
+    def test_empty_inputs(self):
+        assert merge_busy([]) == []
+        assert merge_busy([[], []]) == []
+
+    def test_merge_preserves_total_coverage(self):
+        lists = [[(0, 5), (10, 15)], [(3, 12)], [(20, 21)]]
+        merged = merge_busy(lists)
+        # Every source point is covered by the merge.
+        for intervals in lists:
+            for start, end in intervals:
+                assert any(ms <= start and end <= me for ms, me in merged)
+
+    def test_copy_independent(self):
+        table = ScheduleTable([(0, 10)])
+        clone = table.copy()
+        clone.reserve(10, 20)
+        assert table.intervals() == [(0, 10)]
+        assert clone.intervals() == [(0, 10), (10, 20)]
