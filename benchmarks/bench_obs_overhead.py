@@ -1,0 +1,54 @@
+"""OBS-OH — instrumentation overhead of the obs layer on EAS.
+
+The observability layer must be effectively free when nobody asks for a
+trace: the default bundle uses the null tracer and a disabled decision
+log, leaving only always-on counters on the hot path.  This bench runs
+EAS on a 150-task category-I graph (the repo's default random-benchmark
+scale) twice — under the default null instrumentation and under a fully
+recording bundle — and asserts the instrumented run stays within 5 % of
+the uninstrumented runtime (best-of-N to suppress scheduler noise).
+"""
+
+import time
+
+from repro import obs
+from repro.arch.presets import mesh_4x4
+from repro.core.eas import eas_schedule
+from repro.ctg.generator import generate_category
+
+#: best-of rounds per variant; min() filters out OS scheduling noise.
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+
+
+def _best_of(rounds, fn):
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_obs_overhead_within_5pct(show):
+    ctg = generate_category(1, 0, n_tasks=150)
+    acg = mesh_4x4(shuffle_seed=100)
+    run = lambda: eas_schedule(ctg, acg)  # noqa: E731
+
+    run()  # warm caches (routing tables, cost lookups) for both variants
+    uninstrumented = _best_of(ROUNDS, run)
+
+    instrumented_bundle = obs.Instrumentation.enabled()
+    with obs.activate(instrumented_bundle):
+        instrumented = _best_of(ROUNDS, run)
+
+    overhead = instrumented / uninstrumented - 1.0
+    show(
+        f"OBS-OH: uninstrumented {uninstrumented * 1e3:.1f} ms, "
+        f"fully instrumented {instrumented * 1e3:.1f} ms, "
+        f"overhead {overhead * 100:+.2f}% (limit {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    # The recording bundle captured real data while staying in budget.
+    assert len(instrumented_bundle.decisions) == ROUNDS * ctg.n_tasks
+    assert instrumented_bundle.metrics.counter("eas.evaluations").value > 0
+    assert instrumented <= uninstrumented * (1.0 + MAX_OVERHEAD)

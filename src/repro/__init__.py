@@ -58,6 +58,7 @@ from repro.ctg import (
     generate_category,
     generate_ctg,
 )
+from repro import obs
 from repro.schedule import Schedule, render_gantt
 from repro.sim import SimulationReport, simulate_schedule
 
@@ -99,6 +100,7 @@ __all__ = [
     "mesh_2x2",
     "mesh_3x3",
     "mesh_4x4",
+    "obs",
     "random_schedule",
     "rebuild_schedule",
     "render_gantt",

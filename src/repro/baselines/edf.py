@@ -17,14 +17,15 @@ the paper quantifies as 39-55 % extra energy.
 from __future__ import annotations
 
 import math
-import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.core.comm import schedule_incoming_transactions
 from repro.ctg.analysis import effective_deadlines
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
+from repro.obs.decisions import Candidate, TaskDecision
 from repro.schedule.entries import TaskPlacement
 from repro.schedule.overlay import ResourceTables
 from repro.schedule.schedule import Schedule
@@ -37,50 +38,74 @@ def edf_schedule(ctg: CTG, acg: ACG) -> Schedule:
     guaranteed (EDF is a heuristic here too — the mapping problem is
     NP-hard either way).
     """
-    started = time.perf_counter()
-    schedule = Schedule(ctg, acg, algorithm="edf")
-    tables = ResourceTables()
-    placements: Dict[str, TaskPlacement] = {}
-    eff_deadline = effective_deadlines(ctg, acg.pe_type_names())
+    ins = obs.get()
+    eval_counter = ins.metrics.counter("edf.evaluations")
+    record_decisions = ins.decisions.enabled
+    decided: List[TaskDecision] = []
 
-    remaining_preds = {name: ctg.in_degree(name) for name in ctg.task_names()}
-    ready = sorted(name for name, n in remaining_preds.items() if n == 0)
+    with obs.timed_phase("edf", ctg=ctg.name) as timing:
+        schedule = Schedule(ctg, acg, algorithm="edf")
+        tables = ResourceTables()
+        placements: Dict[str, TaskPlacement] = {}
+        eff_deadline = effective_deadlines(ctg, acg.pe_type_names())
 
-    while ready:
-        # EDF selection: earliest effective deadline; ties by name.
-        chosen = min(ready, key=lambda name: (eff_deadline[name], name))
+        remaining_preds = {name: ctg.in_degree(name) for name in ctg.task_names()}
+        ready = sorted(name for name, n in remaining_preds.items() if n == 0)
 
-        best_pe = -1
-        best_key = (math.inf, math.inf, math.inf)
-        task = ctg.task(chosen)
-        for pe in acg.pes:
-            cost = task.cost_on(pe.type_name)
-            if not cost.feasible:
-                continue
-            overlay = tables.overlay()
-            drt, _comms = schedule_incoming_transactions(
-                ctg, acg, chosen, pe.index, placements, overlay
-            )
-            start = overlay.find_earliest(pe.index, drt, cost.time)
-            overlay.drop()
-            finish = start + cost.time
-            # Performance-greedy: earliest finish; energy is NOT considered.
-            key = (finish, start, pe.index)
-            if key < best_key:
-                best_key = key
-                best_pe = pe.index
-        if best_pe < 0:
-            raise SchedulingError(f"task {chosen!r} has no feasible PE")
+        while ready:
+            # EDF selection: earliest effective deadline; ties by name.
+            chosen = min(ready, key=lambda name: (eff_deadline[name], name))
 
-        _commit(ctg, acg, chosen, best_pe, placements, tables, schedule)
-        ready.remove(chosen)
-        for succ in ctg.successors(chosen):
-            remaining_preds[succ] -= 1
-            if remaining_preds[succ] == 0:
-                ready.append(succ)
-        ready.sort()
+            best_pe = -1
+            best_key = (math.inf, math.inf, math.inf)
+            task = ctg.task(chosen)
+            candidates: List[Candidate] = []
+            for pe in acg.pes:
+                cost = task.cost_on(pe.type_name)
+                if not cost.feasible:
+                    continue
+                overlay = tables.overlay()
+                drt, _comms = schedule_incoming_transactions(
+                    ctg, acg, chosen, pe.index, placements, overlay
+                )
+                start = overlay.find_earliest(pe.index, drt, cost.time)
+                overlay.drop()
+                eval_counter.inc()
+                finish = start + cost.time
+                if record_decisions:
+                    candidates.append(
+                        Candidate(pe=pe.index, finish=finish, energy=cost.energy)
+                    )
+                # Performance-greedy: earliest finish; energy is NOT considered.
+                key = (finish, start, pe.index)
+                if key < best_key:
+                    best_key = key
+                    best_pe = pe.index
+            if best_pe < 0:
+                raise SchedulingError(f"task {chosen!r} has no feasible PE")
 
-    schedule.runtime_seconds = time.perf_counter() - started
+            placement = _commit(ctg, acg, chosen, best_pe, placements, tables, schedule)
+            if record_decisions:
+                decision = TaskDecision(
+                    task=chosen,
+                    pe=best_pe,
+                    algorithm="edf",
+                    start=placement.start,
+                    finish=placement.finish,
+                    energy=placement.energy,
+                    candidates=[c for c in candidates if c.pe != best_pe],
+                )
+                ins.decisions.record(decision)
+                decided.append(decision)
+            ready.remove(chosen)
+            for succ in ctg.successors(chosen):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+
+    schedule.provenance = decided
+    schedule.runtime_seconds = timing.seconds
     return schedule
 
 
@@ -92,7 +117,7 @@ def _commit(
     placements: Dict[str, TaskPlacement],
     tables: ResourceTables,
     schedule: Schedule,
-) -> None:
+) -> TaskPlacement:
     cost = ctg.task(task_name).cost_on(acg.pe(pe_index).type_name)
     overlay = tables.overlay()
     drt, comms = schedule_incoming_transactions(
@@ -108,3 +133,4 @@ def _commit(
     schedule.place_task(placement)
     for comm in comms:
         schedule.place_comm(comm)
+    return placement

@@ -12,14 +12,15 @@ Neither is in the paper; both bracket the EAS/EDF comparison.
 from __future__ import annotations
 
 import math
-import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.core.comm import incoming_comm_energy, schedule_incoming_transactions
 from repro.core.rebuild import rebuild_schedule
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
+from repro.obs.decisions import Candidate, TaskDecision
 from repro.rng import RandomLike, make_rng
 from repro.schedule.entries import TaskPlacement
 from repro.schedule.overlay import ResourceTables
@@ -34,56 +35,78 @@ def greedy_energy_schedule(ctg: CTG, acg: ACG) -> Schedule:
     same ``E1`` quantity EAS uses, but applied greedily with no deadline
     budget at all.
     """
-    started = time.perf_counter()
-    schedule = Schedule(ctg, acg, algorithm="greedy-energy")
-    tables = ResourceTables()
-    placements: Dict[str, TaskPlacement] = {}
-    mapping: Dict[str, int] = {}
+    ins = obs.get()
+    eval_counter = ins.metrics.counter("greedy.evaluations")
+    record_decisions = ins.decisions.enabled
+    decided: List[TaskDecision] = []
 
-    remaining_preds = {name: ctg.in_degree(name) for name in ctg.task_names()}
-    ready = sorted(name for name, n in remaining_preds.items() if n == 0)
+    with obs.timed_phase("greedy_energy", ctg=ctg.name) as timing:
+        schedule = Schedule(ctg, acg, algorithm="greedy-energy")
+        tables = ResourceTables()
+        placements: Dict[str, TaskPlacement] = {}
+        mapping: Dict[str, int] = {}
 
-    while ready:
-        chosen = ready[0]  # FIFO over a sorted ready list: deterministic
-        task = ctg.task(chosen)
-        best_pe = -1
-        best_energy = math.inf
-        for pe in acg.pes:
-            cost = task.cost_on(pe.type_name)
-            if not cost.feasible:
-                continue
-            energy = cost.energy + incoming_comm_energy(ctg, acg, chosen, pe.index, mapping)
-            if energy < best_energy:
-                best_energy = energy
-                best_pe = pe.index
-        if best_pe < 0:
-            raise SchedulingError(f"task {chosen!r} has no feasible PE")
+        remaining_preds = {name: ctg.in_degree(name) for name in ctg.task_names()}
+        ready = sorted(name for name, n in remaining_preds.items() if n == 0)
 
-        cost = task.cost_on(acg.pe(best_pe).type_name)
-        overlay = tables.overlay()
-        drt, comms = schedule_incoming_transactions(
-            ctg, acg, chosen, best_pe, placements, overlay
-        )
-        start = overlay.find_earliest(best_pe, drt, cost.time)
-        overlay.commit()
-        tables.reserve(best_pe, start, start + cost.time)
-        placement = TaskPlacement(
-            task=chosen, pe=best_pe, start=start, finish=start + cost.time, energy=cost.energy
-        )
-        placements[chosen] = placement
-        mapping[chosen] = best_pe
-        schedule.place_task(placement)
-        for comm in comms:
-            schedule.place_comm(comm)
+        while ready:
+            chosen = ready[0]  # FIFO over a sorted ready list: deterministic
+            task = ctg.task(chosen)
+            best_pe = -1
+            best_energy = math.inf
+            candidates: List[Candidate] = []
+            for pe in acg.pes:
+                cost = task.cost_on(pe.type_name)
+                if not cost.feasible:
+                    continue
+                energy = cost.energy + incoming_comm_energy(ctg, acg, chosen, pe.index, mapping)
+                eval_counter.inc()
+                if record_decisions:
+                    candidates.append(Candidate(pe=pe.index, energy=energy))
+                if energy < best_energy:
+                    best_energy = energy
+                    best_pe = pe.index
+            if best_pe < 0:
+                raise SchedulingError(f"task {chosen!r} has no feasible PE")
 
-        ready.remove(chosen)
-        for succ in ctg.successors(chosen):
-            remaining_preds[succ] -= 1
-            if remaining_preds[succ] == 0:
-                ready.append(succ)
-        ready.sort()
+            cost = task.cost_on(acg.pe(best_pe).type_name)
+            overlay = tables.overlay()
+            drt, comms = schedule_incoming_transactions(
+                ctg, acg, chosen, best_pe, placements, overlay
+            )
+            start = overlay.find_earliest(best_pe, drt, cost.time)
+            overlay.commit()
+            tables.reserve(best_pe, start, start + cost.time)
+            placement = TaskPlacement(
+                task=chosen, pe=best_pe, start=start, finish=start + cost.time, energy=cost.energy
+            )
+            placements[chosen] = placement
+            mapping[chosen] = best_pe
+            schedule.place_task(placement)
+            for comm in comms:
+                schedule.place_comm(comm)
+            if record_decisions:
+                decision = TaskDecision(
+                    task=chosen,
+                    pe=best_pe,
+                    algorithm="greedy-energy",
+                    start=placement.start,
+                    finish=placement.finish,
+                    energy=placement.energy,
+                    candidates=[c for c in candidates if c.pe != best_pe],
+                )
+                ins.decisions.record(decision)
+                decided.append(decision)
 
-    schedule.runtime_seconds = time.perf_counter() - started
+            ready.remove(chosen)
+            for succ in ctg.successors(chosen):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+
+    schedule.provenance = decided
+    schedule.runtime_seconds = timing.seconds
     return schedule
 
 
@@ -103,7 +126,7 @@ def random_schedule(ctg: CTG, acg: ACG, seed: RandomLike = None) -> Schedule:
     for name in ctg.topological_order():
         orders[mapping[name]].append(name)
 
-    started = time.perf_counter()
-    schedule = rebuild_schedule(ctg, acg, mapping, orders, algorithm="random")
-    schedule.runtime_seconds = time.perf_counter() - started
+    with obs.timed_phase("random", ctg=ctg.name) as timing:
+        schedule = rebuild_schedule(ctg, acg, mapping, orders, algorithm="random")
+    schedule.runtime_seconds = timing.seconds
     return schedule

@@ -16,11 +16,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
 from repro.baselines.edf import edf_schedule
 from repro.core.eas import eas_base_schedule, eas_schedule
 from repro.ctg.generator import generate_category
 from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
+from repro.errors import SchedulingError
 from repro.evalx.experiments import (
     run_fig7,
     run_msb_table,
@@ -36,7 +38,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+
+    trace_path = getattr(args, "trace", None)
+    profile = bool(getattr(args, "profile", False))
+    if not trace_path and not profile:
+        # Uninstrumented path: the default null bundle stays active, no
+        # trace I/O happens, and failures still exit cleanly.
+        try:
+            return args.handler(args)
+        except SchedulingError as exc:
+            print(f"repro-noc: error: {exc}", file=sys.stderr)
+            return 1
+
+    instrumentation = obs.Instrumentation.enabled()
+    status = 0
+    with obs.activate(instrumentation):
+        with instrumentation.tracer.span("cli", command=args.command):
+            try:
+                status = args.handler(args)
+            except SchedulingError as exc:
+                instrumentation.tracer.event(
+                    "scheduling_error", command=args.command, error=str(exc)
+                )
+                instrumentation.metrics.counter("cli.scheduling_errors").inc()
+                print(f"repro-noc: error: {exc}", file=sys.stderr)
+                status = 1
+    if profile:
+        print(obs.export.format_profile(instrumentation), file=sys.stderr)
+    if trace_path:
+        meta = {
+            "command": args.command,
+            "argv": list(argv) if argv is not None else sys.argv[1:],
+        }
+        try:
+            records = obs.export.write_trace(trace_path, instrumentation, meta=meta)
+        except OSError as exc:
+            print(f"repro-noc: error: cannot write trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace: {records} records -> {trace_path}", file=sys.stderr)
+    return status
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,6 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", type=int, default=0)
     p.add_argument("--n-tasks", type=int, default=100)
     p.set_defaults(handler=_handle_export_ctg)
+
+    # Observability flags, available on every subcommand.
+    for subparser in sub.choices.values():
+        group = subparser.add_argument_group("observability")
+        group.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="write a JSONL trace (spans, events, decisions, counters)",
+        )
+        group.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a phase-timing + counter summary to stderr",
+        )
 
     return parser
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
@@ -70,6 +71,10 @@ def schedule_incoming_transactions(
     # Fig. 3: "sort LCT by the finish time of its sender".
     lct = sorted(lct, key=lambda e: (placements[e.src].finish, e.src))
 
+    metrics = obs.get().metrics
+    link_probes = metrics.counter("comm.link_probes")
+    local_transfers = metrics.counter("comm.local_transfers")
+
     drt = 0.0
     comm_placements: List[CommPlacement] = []
     for edge in lct:
@@ -80,6 +85,7 @@ def schedule_incoming_transactions(
             # Same tile or zero volume: no links held, data available at
             # the moment the sender finishes.
             start = finish = sender.finish
+            local_transfers.inc()
         elif not contention_aware:
             # Fixed-delay model: transfer time only, no link arbitration.
             start = sender.finish
@@ -88,6 +94,7 @@ def schedule_incoming_transactions(
             start = overlay.find_earliest_on_path(route.links, sender.finish, duration)
             finish = start + duration
             overlay.reserve_on_path(route.links, start, finish)
+            link_probes.inc()
         comm_placements.append(
             CommPlacement(
                 src_task=edge.src,

@@ -28,12 +28,13 @@ forced placement risks losing it, so it is treated as maximal regret
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.core.comm import schedule_incoming_transactions
+from repro.obs.decisions import Candidate, TaskDecision
 from repro.core.slack import TaskBudget, WeightPolicy, compute_budgets, weight_var_product
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
@@ -82,6 +83,17 @@ class _Evaluation:
     energy: float
 
 
+@dataclass
+class _SelectionOutcome:
+    """Why the Step-2 selection picked its (task, PE) pair."""
+
+    #: Rule-3 performance rescue (no PE meets the budgeted deadline).
+    rescue: bool = False
+    #: energy regret δE of the chosen task (None on a rescue, inf when
+    #: the task had a single BD-feasible PE).
+    regret: Optional[float] = None
+
+
 class LevelBasedScheduler:
     """Step 2 of EAS: energy-aware list scheduling steered by budgets."""
 
@@ -100,6 +112,10 @@ class LevelBasedScheduler:
         self.contention_aware = contention_aware
         self._tables = ResourceTables()
         self._placements: Dict[str, TaskPlacement] = {}
+        ins = obs.get()
+        self._ins = ins
+        self._eval_counter = ins.metrics.counter("eas.evaluations")
+        self._restore_counter = ins.metrics.counter("comm.table_restores")
 
     # -- F(i,k) evaluation --------------------------------------------------
 
@@ -122,6 +138,8 @@ class LevelBasedScheduler:
         )
         start = overlay.find_earliest(pe_index, drt, cost.time)
         overlay.drop()  # the paper's table restore
+        self._eval_counter.inc()
+        self._restore_counter.inc()
         comm_energy = sum(c.energy for c in comms)
         return _Evaluation(
             task=task_name,
@@ -167,7 +185,7 @@ class LevelBasedScheduler:
 
     def _select(
         self, evaluations: Dict[str, Dict[int, _Evaluation]]
-    ) -> Tuple[str, int]:
+    ) -> Tuple[str, int, _SelectionOutcome]:
         """Apply the paper's Step-2 selection rules to the current RTL."""
         min_f: Dict[str, _Evaluation] = {}
         for task_name, per_pe in evaluations.items():
@@ -186,7 +204,7 @@ class LevelBasedScheduler:
         if violations:
             violations.sort(key=lambda item: (-item[0], item[1]))
             chosen = violations[0][1]
-            return chosen, min_f[chosen].pe
+            return chosen, min_f[chosen].pe, _SelectionOutcome(rescue=True)
 
         # Rule 4: all tasks can meet their BD somewhere; maximise regret.
         # Ties: tighter (smaller) BD first, then task name, for determinism.
@@ -206,7 +224,7 @@ class LevelBasedScheduler:
                 best_key = key
                 best_pe = e1.pe
         assert best_task is not None
-        return best_task, best_pe
+        return best_task, best_pe, _SelectionOutcome(regret=best_key[0])
 
     # -- main loop ----------------------------------------------------------------
 
@@ -218,30 +236,65 @@ class LevelBasedScheduler:
         }
         ready = sorted(name for name, n in remaining_preds.items() if n == 0)
 
-        while ready:
-            evaluations: Dict[str, Dict[int, _Evaluation]] = {}
-            for task_name in ready:
-                per_pe: Dict[int, _Evaluation] = {}
-                for pe in self.acg.pes:
-                    evaluation = self._evaluate(task_name, pe.index)
-                    if evaluation is not None:
-                        per_pe[pe.index] = evaluation
-                evaluations[task_name] = per_pe
+        ins = self._ins
+        rescue_counter = ins.metrics.counter("eas.rescues")
+        commit_counter = ins.metrics.counter("eas.commits")
+        record_decisions = ins.decisions.enabled
+        decided: List[TaskDecision] = []
 
-            chosen_task, chosen_pe = self._select(evaluations)
-            self._commit(chosen_task, chosen_pe, schedule)
+        with ins.tracer.span(
+            "level_schedule",
+            algorithm=self.algorithm_name,
+            ctg=self.ctg.name,
+            tasks=self.ctg.n_tasks,
+            pes=len(self.acg.pes),
+        ):
+            while ready:
+                evaluations: Dict[str, Dict[int, _Evaluation]] = {}
+                for task_name in ready:
+                    per_pe: Dict[int, _Evaluation] = {}
+                    for pe in self.acg.pes:
+                        evaluation = self._evaluate(task_name, pe.index)
+                        if evaluation is not None:
+                            per_pe[pe.index] = evaluation
+                    evaluations[task_name] = per_pe
 
-            ready.remove(chosen_task)
-            for succ in self.ctg.successors(chosen_task):
-                remaining_preds[succ] -= 1
-                if remaining_preds[succ] == 0:
-                    ready.append(succ)
-            ready.sort()
+                chosen_task, chosen_pe, outcome = self._select(evaluations)
+                placement = self._commit(chosen_task, chosen_pe, schedule)
+                commit_counter.inc()
+                if outcome.rescue:
+                    rescue_counter.inc()
+                if record_decisions:
+                    decision = TaskDecision(
+                        task=chosen_task,
+                        pe=chosen_pe,
+                        algorithm=self.algorithm_name,
+                        rescue=outcome.rescue,
+                        regret=outcome.regret,
+                        start=placement.start,
+                        finish=placement.finish,
+                        energy=placement.energy,
+                        candidates=[
+                            Candidate(pe=ev.pe, finish=ev.finish, energy=ev.energy)
+                            for pe_index, ev in sorted(evaluations[chosen_task].items())
+                            if pe_index != chosen_pe
+                        ],
+                    )
+                    ins.decisions.record(decision)
+                    decided.append(decision)
+
+                ready.remove(chosen_task)
+                for succ in self.ctg.successors(chosen_task):
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0:
+                        ready.append(succ)
+                ready.sort()
 
         if len(self._placements) != self.ctg.n_tasks:
             raise SchedulingError(
                 "level-based scheduling finished without placing every task"
             )
+        schedule.provenance = decided
         return schedule
 
 
@@ -256,21 +309,21 @@ def eas_base_schedule(
     deadlines on tightly constrained inputs.
     """
     cfg = config or EASConfig()
-    started = time.perf_counter()
-    budgets = compute_budgets(
-        ctg,
-        acg,
-        weight_policy=cfg.weight_policy,
-        include_comm=cfg.include_comm_in_slack,
-    )
-    schedule = LevelBasedScheduler(
-        ctg,
-        acg,
-        budgets,
-        algorithm_name="eas-base" if cfg.contention_aware else "eas-base-nocontention",
-        contention_aware=cfg.contention_aware,
-    ).run()
-    schedule.runtime_seconds = time.perf_counter() - started
+    with obs.timed_phase("eas_base", ctg=ctg.name) as timing:
+        budgets = compute_budgets(
+            ctg,
+            acg,
+            weight_policy=cfg.weight_policy,
+            include_comm=cfg.include_comm_in_slack,
+        )
+        schedule = LevelBasedScheduler(
+            ctg,
+            acg,
+            budgets,
+            algorithm_name="eas-base" if cfg.contention_aware else "eas-base-nocontention",
+            contention_aware=cfg.contention_aware,
+        ).run()
+    schedule.runtime_seconds = timing.seconds
     return schedule
 
 
@@ -288,15 +341,16 @@ def eas_schedule(
     from repro.core.repair import RepairConfig, search_and_repair
 
     cfg = config or EASConfig()
-    started = time.perf_counter()
-    schedule = eas_base_schedule(ctg, acg, cfg)
-    if cfg.repair and schedule.deadline_misses():
-        repaired, _report = search_and_repair(
-            schedule, RepairConfig(max_rounds=cfg.max_repair_rounds)
-        )
-        repaired.algorithm = "eas"
-        repaired.runtime_seconds = time.perf_counter() - started
-        return repaired
+    with obs.timed_phase("eas", ctg=ctg.name) as timing:
+        schedule = eas_base_schedule(ctg, acg, cfg)
+        if cfg.repair and schedule.deadline_misses():
+            repaired, _report = search_and_repair(
+                schedule, RepairConfig(max_rounds=cfg.max_repair_rounds)
+            )
+            # Repair only reorders/remaps; the level-schedule decisions
+            # remain the provenance of the original placements.
+            repaired.provenance = schedule.provenance
+            schedule = repaired
     schedule.algorithm = "eas"
-    schedule.runtime_seconds = time.perf_counter() - started
+    schedule.runtime_seconds = timing.seconds
     return schedule

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
 from repro.core.rebuild import rebuild_schedule
 from repro.errors import InfeasibleOrderError, SchedulingError
@@ -107,18 +108,26 @@ def search_and_repair(
     mapping = dict(current.mapping())
     orders = {pe: list(tasks) for pe, tasks in current.pe_order().items()}
 
-    while metric[0] > 0 and report.rounds < cfg.max_rounds:
-        report.rounds += 1
-        current, mapping, orders, metric, lts_improved = _lts_pass(
-            current, mapping, orders, metric, report
-        )
-        if metric[0] == 0:
-            break
-        current, mapping, orders, metric, gtm_improved = _gtm_pass(
-            current, mapping, orders, metric, report, cfg
-        )
-        if not lts_improved and not gtm_improved:
-            break  # fixed point: no move helps
+    ins = obs.get()
+    round_counter = ins.metrics.counter("repair.rounds")
+    with ins.tracer.span(
+        "search_and_repair", ctg=schedule.ctg.name, initial_misses=report.initial_misses
+    ) as span:
+        while metric[0] > 0 and report.rounds < cfg.max_rounds:
+            report.rounds += 1
+            round_counter.inc()
+            current, mapping, orders, metric, lts_improved = _lts_pass(
+                current, mapping, orders, metric, report
+            )
+            if metric[0] == 0:
+                break
+            current, mapping, orders, metric, gtm_improved = _gtm_pass(
+                current, mapping, orders, metric, report, cfg
+            )
+            if not lts_improved and not gtm_improved:
+                break  # fixed point: no move helps
+        span.set_attribute("rounds", report.rounds)
+        span.set_attribute("final_misses", metric[0])
 
     report.final_misses = metric[0]
     report.final_energy = current.total_energy()
@@ -168,6 +177,15 @@ def _lts_pass(
                     schedule = rebuilt
                     metric = candidate_metric
                     report.swaps_accepted += 1
+                    ins = obs.get()
+                    ins.metrics.counter("repair.lts_moves").inc()
+                    ins.tracer.event(
+                        "repair.lts_accept",
+                        task=task,
+                        swapped_with=other,
+                        pe=pe,
+                        misses=candidate_metric[0],
+                    )
                     improved_any = True
                     progress = True
                     break  # re-derive criticality from the new schedule
@@ -254,6 +272,15 @@ def _try_migrations(
         candidate_metric = miss_metric(rebuilt)
         if candidate_metric < metric:
             report.migrations_accepted += 1
+            ins = obs.get()
+            ins.metrics.counter("repair.gtm_moves").inc()
+            ins.tracer.event(
+                "repair.gtm_accept",
+                task=task,
+                src_pe=source_pe,
+                dst_pe=dest_pe,
+                misses=candidate_metric[0],
+            )
             return rebuilt, candidate_mapping, candidate_orders, candidate_metric, True
     return None
 

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.ctg.graph import CTG
 from repro.ctg.task import TaskStats
@@ -101,6 +102,20 @@ def compute_budgets(
         task name -> :class:`TaskBudget`; tasks from which no deadline is
         reachable get ``budgeted_deadline = inf``.
     """
+    ins = obs.get()
+    with ins.tracer.span("slack_budgeting", ctg=ctg.name, tasks=ctg.n_tasks) as span:
+        budgets = _compute_budgets_impl(ctg, acg, weight_policy, include_comm)
+        ins.metrics.counter("slack.budgets_computed").inc(len(budgets))
+        span.set_attribute("deadline_tasks", len(ctg.deadline_tasks()))
+        return budgets
+
+
+def _compute_budgets_impl(
+    ctg: CTG,
+    acg: ACG,
+    weight_policy: WeightPolicy,
+    include_comm: bool,
+) -> Dict[str, TaskBudget]:
     pe_types = acg.pe_type_names()
     stats: Dict[str, TaskStats] = {}
     mean_time: Dict[str, float] = {}

@@ -23,10 +23,10 @@ the paper-scale configuration.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
 from repro.baselines.edf import edf_schedule
@@ -55,6 +55,9 @@ class ExperimentRow:
     misses: Dict[str, int]
     runtimes: Dict[str, float] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: per-scheduler observability counters (e.g. ``"eas:evals"``),
+    #: captured as deltas of the active obs metrics registry per run.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def ratio(self, numerator: str, denominator: str) -> float:
         return self.energies[numerator] / self.energies[denominator]
@@ -204,9 +207,9 @@ def run_repair_runtime(
         base = eas_base_schedule(ctg, acg)
         if not base.deadline_misses():
             continue
-        started = time.perf_counter()
-        repaired, report = search_and_repair(base)
-        repair_seconds = time.perf_counter() - started
+        with obs.timed_phase("repair_runtime.repair", ctg=ctg.name) as timing:
+            repaired, report = search_and_repair(base)
+        repair_seconds = timing.seconds
         rows.append(
             ExperimentRow(
                 benchmark=ctg.name,
@@ -247,11 +250,14 @@ def _compare(
     schedulers: Tuple[str, ...],
     benchmark_name: Optional[str] = None,
 ) -> ExperimentRow:
+    registry = obs.get().metrics
     energies: Dict[str, float] = {}
     misses: Dict[str, int] = {}
     runtimes: Dict[str, float] = {}
     extras: Dict[str, float] = {}
+    metrics: Dict[str, float] = {}
     for name in schedulers:
+        before = registry.counter_values()
         schedule = _run_scheduler(name, ctg, acg)
         schedule.validate_structure()
         energies[name] = schedule.total_energy()
@@ -260,13 +266,33 @@ def _compare(
         extras[f"{name}:comp"] = schedule.computation_energy()
         extras[f"{name}:comm"] = schedule.communication_energy()
         extras[f"{name}:hops"] = schedule.average_hops_per_packet()
+        metrics.update(_headline_metrics(name, before, registry.counter_values()))
     return ExperimentRow(
         benchmark=benchmark_name or ctg.name,
         energies=energies,
         misses=misses,
         runtimes=runtimes,
         extras=extras,
+        metrics=metrics,
     )
+
+
+def _headline_metrics(
+    scheduler: str, before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-run counter deltas condensed to the reporting columns.
+
+    ``<scheduler>:evals`` sums every ``*.evaluations`` counter the run
+    incremented; ``<scheduler>:moves`` sums accepted repair moves.
+    """
+    delta = {key: after[key] - before.get(key, 0.0) for key in after}
+    return {
+        f"{scheduler}:evals": sum(
+            value for key, value in delta.items() if key.endswith(".evaluations")
+        ),
+        f"{scheduler}:moves": delta.get("repair.lts_moves", 0.0)
+        + delta.get("repair.gtm_moves", 0.0),
+    }
 
 
 def _row_brief(row: ExperimentRow) -> str:

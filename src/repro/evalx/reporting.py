@@ -24,7 +24,9 @@ def format_table(
 
     Columns: benchmark, one energy column per scheduler, the paper's
     "Energy Savings (%)" column comparing ``better`` against ``worse``,
-    deadline misses when any, plus any requested ``extras`` keys.
+    deadline misses when any, any requested ``extras`` keys, plus one
+    column per observability metric key the rows carry (the per-run
+    counter deltas ``_compare`` records, e.g. ``eas:evals``).
     """
     if not rows:
         return f"{title}\n  (no rows)"
@@ -37,6 +39,8 @@ def format_table(
     if any_misses:
         headers.append("misses")
     headers.extend(extra_columns)
+    metric_columns = sorted({key for row in rows for key in row.metrics})
+    headers.extend(metric_columns)
 
     table: List[List[str]] = [headers]
     for row in rows:
@@ -51,6 +55,8 @@ def format_table(
         for column in extra_columns:
             value = row.extras.get(column, float("nan"))
             cells.append(f"{value:.4g}")
+        for column in metric_columns:
+            cells.append(f"{row.metrics.get(column, 0.0):g}")
         table.append(cells)
 
     if has_savings:

@@ -1,0 +1,58 @@
+"""repro.obs — zero-dependency instrumentation for the EAS pipeline.
+
+Three primitives, bundled into one :class:`Instrumentation` and
+activated per run:
+
+* :class:`Tracer` — nested ``span()`` context managers recording wall
+  time, monotonic start and attributes, plus point ``event()``s; the
+  default :data:`NULL_TRACER` makes uninstrumented calls ~free.
+* :class:`MetricsRegistry` — named counters / gauges / histograms with
+  snapshot, in-place reset, and associative merge for cross-run
+  aggregation.  The default bundle keeps metrics live (they are cheap).
+* :class:`DecisionLog` — structured provenance of every task commit
+  (chosen PE, regret δE, losing candidates, rescue flag), attachable to
+  a schedule and exported as JSONL via :mod:`repro.obs.export`.
+
+Typical use::
+
+    from repro import obs
+
+    ins = obs.Instrumentation.enabled()
+    with obs.activate(ins):
+        schedule = eas_schedule(ctg, acg)
+    obs.export.write_trace("run.jsonl", ins)
+    print(obs.export.format_profile(ins))
+"""
+
+from repro.obs import export
+from repro.obs.context import (
+    Instrumentation,
+    PhaseTiming,
+    activate,
+    get,
+    timed_phase,
+)
+from repro.obs.decisions import Candidate, DecisionLog, TaskDecision
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Event, NullTracer, Span, Tracer
+
+__all__ = [
+    "Candidate",
+    "Counter",
+    "DecisionLog",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseTiming",
+    "Span",
+    "TaskDecision",
+    "Tracer",
+    "activate",
+    "export",
+    "get",
+    "timed_phase",
+]

@@ -1,0 +1,105 @@
+"""The active instrumentation bundle and timing helpers.
+
+A single :class:`Instrumentation` groups the three observability
+primitives — tracer, metrics registry, decision log — and one bundle is
+*active* at a time (module global; the library is single-threaded).
+The default bundle has a null tracer, a disabled decision log and a live
+metrics registry: counters are cheap enough to keep always on, while
+spans and decision records cost allocations and stay off until a caller
+activates an enabled bundle::
+
+    ins = Instrumentation.enabled()
+    with activate(ins):
+        schedule = eas_schedule(ctg, acg)
+    print(ins.metrics.counter("eas.evaluations").value)
+
+:func:`timed_phase` is the one shared runtime-accounting helper: it
+always measures wall time (drivers stamp ``Schedule.runtime_seconds``
+from it, tracing or not) and additionally shows up as a span when the
+active tracer records.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Union
+
+from repro.obs.decisions import DecisionLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+@dataclass
+class Instrumentation:
+    """Tracer + metrics + decision log, activated as one unit."""
+
+    tracer: Union[Tracer, NullTracer]
+    metrics: MetricsRegistry
+    decisions: DecisionLog
+
+    @classmethod
+    def enabled(cls) -> "Instrumentation":
+        """A fully recording bundle (what ``--trace``/``--profile`` use)."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry(), decisions=DecisionLog(enabled=True))
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """Null tracer, disabled decisions, live (cheap) metrics."""
+        return cls(
+            tracer=NULL_TRACER, metrics=MetricsRegistry(), decisions=DecisionLog(enabled=False)
+        )
+
+    @property
+    def recording(self) -> bool:
+        return self.tracer.enabled or self.decisions.enabled
+
+
+_DEFAULT = Instrumentation.disabled()
+_active = _DEFAULT
+
+
+def get() -> Instrumentation:
+    """The currently active instrumentation bundle."""
+    return _active
+
+
+@contextmanager
+def activate(instrumentation: Instrumentation) -> Iterator[Instrumentation]:
+    """Make ``instrumentation`` active for the duration of the block."""
+    global _active
+    previous = _active
+    _active = instrumentation
+    try:
+        yield instrumentation
+    finally:
+        _active = previous
+
+
+class PhaseTiming:
+    """The box :func:`timed_phase` fills in; read ``.seconds`` after."""
+
+    __slots__ = ("name", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+
+
+@contextmanager
+def timed_phase(name: str, **attrs: Any) -> Iterator[PhaseTiming]:
+    """Measure one scheduler phase: always times, traces when active.
+
+    Replaces the per-driver ``time.perf_counter()`` stanzas: the box's
+    ``seconds`` is valid even when the phase raised, and the phase
+    appears as a span (with error status on exceptions) whenever the
+    active tracer records.
+    """
+    timing = PhaseTiming(name)
+    started = time.perf_counter()
+    with get().tracer.span(name, **attrs):
+        try:
+            yield timing
+        finally:
+            timing.seconds = time.perf_counter() - started

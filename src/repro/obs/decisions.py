@@ -1,0 +1,119 @@
+"""Decision provenance: why each task landed on its PE.
+
+Every time a scheduler commits a task it can record a
+:class:`TaskDecision` — the chosen PE, the energy regret ``δE`` that
+drove the choice, the losing candidate PEs with their finish/energy
+numbers, and whether the placement was a performance rescue (Rule 3) or
+a forced single-feasible-PE placement.  The log is attached to the
+resulting :class:`~repro.schedule.schedule.Schedule` as ``provenance``
+so a schedule can explain itself after the fact, and exported as JSONL
+decision events by :mod:`repro.obs.export`.
+
+Recording is gated on :attr:`DecisionLog.enabled`; the default
+instrumentation keeps it off so uninstrumented runs never build
+candidate lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One losing candidate PE of a task decision."""
+
+    pe: int
+    finish: Optional[float] = None
+    energy: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {"pe": self.pe, "finish": _jsonable(self.finish), "energy": _jsonable(self.energy)}
+
+
+@dataclass
+class TaskDecision:
+    """The provenance of one task commit."""
+
+    task: str
+    pe: int
+    algorithm: str
+    #: Rule-3 performance rescue (deadline could not be met anywhere).
+    rescue: bool = False
+    #: energy regret δE = E2 - E1; ``inf`` marks a forced placement
+    #: (single BD-feasible PE), ``None`` an algorithm without a regret
+    #: notion (EDF, greedy).
+    regret: Optional[float] = None
+    start: float = 0.0
+    finish: float = 0.0
+    energy: float = 0.0
+    candidates: List[Candidate] = field(default_factory=list)
+
+    @property
+    def forced(self) -> bool:
+        return self.regret is not None and math.isinf(self.regret)
+
+    def to_dict(self) -> Dict:
+        return {
+            "task": self.task,
+            "pe": self.pe,
+            "algorithm": self.algorithm,
+            "rescue": self.rescue,
+            "regret": _jsonable(self.regret),
+            "start": self.start,
+            "finish": self.finish,
+            "energy": self.energy,
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+    def describe(self) -> str:
+        """One human-readable line explaining the placement."""
+        if self.rescue:
+            reason = "performance rescue: fastest PE"
+        elif self.forced:
+            reason = "forced: only BD-feasible PE"
+        elif self.regret is not None:
+            reason = f"max regret δE={self.regret:.4g} nJ"
+        else:
+            reason = "greedy pick"
+        losers = f", beat {len(self.candidates)} candidate(s)" if self.candidates else ""
+        return (
+            f"{self.task} -> PE{self.pe} [{self.algorithm}] "
+            f"({reason}{losers}; start={self.start:.4g}, finish={self.finish:.4g})"
+        )
+
+
+class DecisionLog:
+    """An append-only log of task decisions, gated by ``enabled``."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TaskDecision] = []
+
+    def record(self, decision: TaskDecision) -> None:
+        if self.enabled:
+            self.records.append(decision)
+
+    def tasks(self) -> List[str]:
+        """Task names in record order (duplicates preserved)."""
+        return [d.task for d in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TaskDecision]:
+        return iter(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+def _jsonable(value: Optional[float]):
+    """Map non-finite floats to strings so json.dumps emits valid JSON."""
+    if value is None:
+        return None
+    if isinstance(value, float) and not math.isfinite(value):
+        return "inf" if value > 0 else ("-inf" if value < 0 else "nan")
+    return value

@@ -1,0 +1,134 @@
+"""Trace export (JSONL) and the human-readable profile summary.
+
+The JSONL trace is one JSON object per line, each carrying a ``type``:
+
+========== ==================================================================
+``meta``     schema version plus run metadata (command, argv)
+``span``     ``name, parent, start, duration, status, attrs`` (close order)
+``event``    instantaneous points: ``name, time, attrs``
+``decision`` one per task commit — ``task, pe, algorithm, rescue, regret,``
+             ``start, finish, energy, candidates`` (losing PEs)
+``counter``  final counter totals, one line per counter
+``gauge``    final gauge values (only gauges that were written)
+``histogram`` ``count / sum / min / max`` per histogram
+========== ==================================================================
+
+Non-finite floats are serialised as the strings ``"inf"`` / ``"-inf"`` /
+``"nan"`` so every line is strict JSON.  :func:`format_profile` renders
+the same data as the ``--profile`` stderr summary: a phase-timing table
+aggregated per span name, counter totals, and decision statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.context import Instrumentation
+
+#: bump when the line schema changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_records(
+    instrumentation: Instrumentation, meta: Optional[Dict[str, Any]] = None
+) -> Iterator[Dict[str, Any]]:
+    """Yield every trace line of the bundle as a plain dict."""
+    yield {"type": "meta", "schema_version": TRACE_SCHEMA_VERSION, **(meta or {})}
+    for span in instrumentation.tracer.spans:
+        yield {
+            "type": "span",
+            "name": span.name,
+            "parent": span.parent,
+            "start": span.start_wall,
+            "duration": span.duration,
+            "status": span.status,
+            "attrs": _jsonable_attrs(span.attrs),
+        }
+    for event in instrumentation.tracer.events:
+        yield {
+            "type": "event",
+            "name": event.name,
+            "time": event.time,
+            "attrs": _jsonable_attrs(event.attrs),
+        }
+    for decision in instrumentation.decisions:
+        yield {"type": "decision", **decision.to_dict()}
+    snapshot = instrumentation.metrics.snapshot()
+    for name, value in sorted(snapshot["counters"].items()):
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in sorted(snapshot["gauges"].items()):
+        yield {"type": "gauge", "name": name, "value": _jsonable_value(value)}
+    for name, stats in sorted(snapshot["histograms"].items()):
+        yield {
+            "type": "histogram",
+            "name": name,
+            "count": stats["count"],
+            "sum": stats["sum"],
+            "min": _jsonable_value(stats["min"]),
+            "max": _jsonable_value(stats["max"]),
+        }
+
+
+def write_trace(
+    path: str, instrumentation: Instrumentation, meta: Optional[Dict[str, Any]] = None
+) -> int:
+    """Write the bundle as JSONL to ``path``; returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in trace_records(instrumentation, meta):
+            handle.write(json.dumps(record, allow_nan=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def format_profile(instrumentation: Instrumentation) -> str:
+    """The ``--profile`` stderr summary: phases, counters, decisions."""
+    lines = ["== phase timings =="]
+    aggregated = instrumentation.tracer.aggregate()
+    if aggregated:
+        width = max(len(name) for name in aggregated)
+        for name, (count, seconds) in sorted(
+            aggregated.items(), key=lambda item: -item[1][1]
+        ):
+            lines.append(f"  {name.ljust(width)}  x{count:<5d} {seconds * 1e3:10.2f} ms")
+    else:
+        lines.append("  (no spans recorded)")
+
+    counters = instrumentation.metrics.snapshot()["counters"]
+    lines.append("== counters ==")
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name.ljust(width)}  {counters[name]:g}")
+    else:
+        lines.append("  (no counters)")
+
+    decisions = instrumentation.decisions
+    lines.append("== decisions ==")
+    if len(decisions):
+        rescues = sum(1 for d in decisions if d.rescue)
+        forced = sum(1 for d in decisions if d.forced)
+        lines.append(
+            f"  {len(decisions)} task commits "
+            f"({rescues} rescues, {forced} forced placements)"
+        )
+    else:
+        lines.append("  (no decisions recorded)")
+    return "\n".join(lines)
+
+
+def _jsonable_value(value: Any) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _jsonable_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _jsonable_value(value) for key, value in attrs.items()}

@@ -1,0 +1,179 @@
+"""Structured tracing: nested spans, point events, and a free null tracer.
+
+A :class:`Tracer` records *spans* — named, nested, timed regions opened
+with ``tracer.span("level_schedule", tasks=40)`` as a context manager —
+and *events*, instantaneous points such as an accepted repair move or a
+scheduling error.  Each span stores its wall-clock start, its monotonic
+start, its duration and arbitrary attributes; nesting is tracked so a
+trace can be reconstructed as a tree.
+
+The default tracer in an uninstrumented process is :data:`NULL_TRACER`,
+whose ``span()`` hands back one shared no-op context manager and whose
+``event()`` does nothing — instrumented call sites cost a method call
+and nothing else when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One timed region of a trace.
+
+    Use as a context manager (normally via :meth:`Tracer.span`); the
+    span opens on ``__enter__`` and records its duration and status on
+    ``__exit__``.  Attributes passed at creation or added with
+    :meth:`set_attribute` travel with the span into the trace export.
+    """
+
+    __slots__ = (
+        "name",
+        "parent",
+        "start_wall",
+        "start_mono",
+        "duration",
+        "attrs",
+        "status",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.parent: Optional[str] = None
+        self.start_wall = 0.0
+        self.start_mono = 0.0
+        self.duration = 0.0
+        self.attrs = attrs
+        self.status = "open"
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.status = "ok" if exc_type is None else "error"
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, parent={self.parent!r}, "
+            f"duration={self.duration:.6f}, status={self.status!r})"
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """An instantaneous trace point (error, accepted repair move, ...)."""
+
+    name: str
+    time: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Records spans and events; spans nest through an internal stack."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: finished spans, in close order (children before parents).
+        self.spans: List[Span] = []
+        self.events: List[Event] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; open it with ``with``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous event at the current wall time."""
+        self.events.append(Event(name=name, time=time.time(), attrs=attrs))
+
+    # -- span lifecycle (called by Span) ------------------------------------
+
+    def _open(self, span: Span) -> None:
+        span.parent = self._stack[-1].name if self._stack else None
+        span.start_wall = time.time()
+        span.start_mono = time.perf_counter()
+        self._stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span.start_mono
+        # Unwind to (and including) this span; tolerates a child that
+        # leaked past its parent's exit so exceptions can't corrupt the
+        # stack for later spans.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        self.spans.append(span)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def aggregate(self) -> Dict[str, Tuple[int, float]]:
+        """Per span name: ``(count, total seconds)`` over finished spans."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for span in self.spans:
+            count, seconds = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, seconds + span.duration)
+        return totals
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer that records nothing; the default in uninstrumented runs."""
+
+    enabled = False
+    spans: Tuple[Span, ...] = ()
+    events: Tuple[Event, ...] = ()
+    open_depth = 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def aggregate(self) -> Dict[str, Tuple[int, float]]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

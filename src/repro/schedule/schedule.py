@@ -11,7 +11,10 @@ dependency/deadline constraints.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.decisions import TaskDecision
 
 from repro.arch.acg import ACG
 from repro.ctg.graph import CTG
@@ -31,6 +34,10 @@ class Schedule:
         self.comm_placements: Dict[Tuple[str, str], CommPlacement] = {}
         #: wall-clock seconds the scheduler spent, filled by drivers.
         self.runtime_seconds: float = 0.0
+        #: decision provenance (one record per task commit) attached by
+        #: schedulers when the active decision log records; empty
+        #: otherwise.  Not serialized — export it via repro.obs.export.
+        self.provenance: List["TaskDecision"] = []
 
     # -- construction ------------------------------------------------------
 
@@ -246,6 +253,20 @@ class Schedule:
                 raise ScheduleValidationError(
                     f"transaction {src}->{dst} duration {comm.duration} != model {expected}"
                 )
+
+    # -- provenance ---------------------------------------------------------------
+
+    def explain(self, task: str) -> str:
+        """Why ``task`` was placed where it was, from decision provenance.
+
+        Requires the schedule to have been produced under an enabled
+        decision log (``obs.Instrumentation.enabled()``); returns a
+        placeholder line otherwise.
+        """
+        for decision in self.provenance:
+            if decision.task == task:
+                return decision.describe()
+        return f"{task}: no decision recorded (run under an enabled obs.DecisionLog)"
 
     # -- misc ---------------------------------------------------------------------
 

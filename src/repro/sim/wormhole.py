@@ -38,6 +38,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.arch.topology import Link
 from repro.errors import ReproError, SchedulingError
@@ -198,19 +199,24 @@ def simulate_wormhole(
     remaining = len(states)
     cycle = 0
 
-    while remaining > 0:
-        if cycle > cfg.max_cycles:
-            stuck = [s.spec.name for s in states if not s.done]
-            raise WormholeError(
-                f"simulation exceeded {cfg.max_cycles} cycles; stuck packets: {stuck}"
-            )
-        for state in states:
-            if state.done or cycle < state.inject_cycle:
-                continue
-            _advance(state, owner, link_busy, cfg, cycle)
-            if state.done:
-                remaining -= 1
-        cycle += 1
+    ins = obs.get()
+    ins.metrics.counter("wormhole.packets").inc(len(states))
+    with ins.tracer.span("wormhole.simulate", packets=len(states)) as span:
+        while remaining > 0:
+            if cycle > cfg.max_cycles:
+                stuck = [s.spec.name for s in states if not s.done]
+                raise WormholeError(
+                    f"simulation exceeded {cfg.max_cycles} cycles; stuck packets: {stuck}"
+                )
+            for state in states:
+                if state.done or cycle < state.inject_cycle:
+                    continue
+                _advance(state, owner, link_busy, cfg, cycle)
+                if state.done:
+                    remaining -= 1
+            cycle += 1
+        span.set_attribute("cycles", cycle)
+    ins.metrics.counter("wormhole.cycles").inc(cycle)
 
     report = WormholeReport(cycle_time=cycle_time, cycles_run=cycle, link_busy_cycles=link_busy)
     for state in states:

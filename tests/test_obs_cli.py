@@ -1,0 +1,112 @@
+"""Tests for the CLI observability flags and SchedulingError handling."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ctg.multimedia import av_encoder_ctg
+from repro.errors import SchedulingError
+
+
+class TestProfileFlag:
+    def test_profile_prints_summary_to_stderr(self, capsys):
+        assert main(["schedule", "--system", "encoder", "--clip", "foreman", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Gantt" in captured.out  # normal output unaffected
+        assert "== phase timings ==" in captured.err
+        assert "level_schedule" in captured.err
+        assert "slack_budgeting" in captured.err
+        assert "eas.evaluations" in captured.err
+        assert "task commits" in captured.err
+
+    def test_profile_works_on_table_command(self, capsys):
+        assert main(["table2", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "== counters ==" in err
+        assert "edf.evaluations" in err
+
+
+class TestTraceFlag:
+    def test_trace_writes_valid_jsonl_covering_every_task(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--system",
+                    "encoder",
+                    "--clip",
+                    "foreman",
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        assert "trace:" in capsys.readouterr().err
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema_version"] == 1
+        assert records[0]["command"] == "schedule"
+
+        decisions = [r for r in records if r["type"] == "decision"]
+        expected = sorted(av_encoder_ctg("foreman").task_names())
+        assert sorted(d["task"] for d in decisions) == expected
+
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert {"slack_budgeting", "level_schedule", "cli"} <= spans
+        counters = {r["name"]: r["value"] for r in records if r["type"] == "counter"}
+        assert counters["eas.commits"] == len(expected)
+
+    def test_unwritable_trace_path_gives_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "missing-dir" / "out.jsonl"
+        assert main(["schedule", "--system", "decoder", "--trace", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "repro-noc: error: cannot write trace" in err
+        assert "Traceback" not in err
+
+    def test_default_run_produces_no_trace_io(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["schedule", "--system", "decoder"]) == 0
+        captured = capsys.readouterr()
+        assert "trace" not in captured.err
+        assert "phase timings" not in captured.err
+        assert list(tmp_path.iterdir()) == []  # no files written
+
+
+class TestSchedulingErrorHandling:
+    def _boom(self, *args, **kwargs):
+        raise SchedulingError("task 'x' has no feasible PE")
+
+    def test_clean_one_line_error_and_nonzero_exit(self, capsys, monkeypatch):
+        monkeypatch.setattr("repro.cli.eas_schedule", self._boom)
+        assert main(["schedule", "--system", "encoder"]) == 1
+        err = capsys.readouterr().err
+        assert err.strip() == "repro-noc: error: task 'x' has no feasible PE"
+        assert "Traceback" not in err
+
+    def test_error_is_logged_through_tracer(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setattr("repro.cli.eas_schedule", self._boom)
+        trace = tmp_path / "err.jsonl"
+        assert main(["schedule", "--system", "encoder", "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "repro-noc: error:" in err
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        events = [r for r in records if r["type"] == "event"]
+        assert any(
+            e["name"] == "scheduling_error" and "no feasible PE" in e["attrs"]["error"]
+            for e in events
+        )
+        counters = {r["name"]: r["value"] for r in records if r["type"] == "counter"}
+        assert counters["cli.scheduling_errors"] == 1
+        cli_span = next(r for r in records if r["type"] == "span" and r["name"] == "cli")
+        assert cli_span["status"] == "ok"  # handler caught the error itself
+
+    def test_non_scheduling_errors_still_propagate(self, monkeypatch):
+        def bad(*args, **kwargs):
+            raise RuntimeError("unexpected")
+
+        monkeypatch.setattr("repro.cli.eas_schedule", bad)
+        with pytest.raises(RuntimeError):
+            main(["schedule", "--system", "encoder"])

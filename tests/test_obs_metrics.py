@@ -1,0 +1,136 @@
+"""Tests for the metrics registry: instruments, snapshot, reset, merge."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry(counters):
+    registry = MetricsRegistry()
+    for name, value in counters.items():
+        registry.counter(name).inc(value)
+    return registry
+
+
+class TestInstruments:
+    def test_counter_get_or_create_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("eas.evaluations")
+        b = registry.counter("eas.evaluations")
+        assert a is b
+        a.inc()
+        a.inc(2.5)
+        assert registry.counter_values() == {"eas.evaluations": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repair.round")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+        assert gauge.updates == 2
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("span.ms")
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.min == 2.0
+        assert histogram.max == 8.0
+        assert histogram.mean == 5.0
+
+
+class TestSnapshotReset:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 4.0}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"] == {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0}
+
+    def test_unset_gauges_excluded_from_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_written")
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_reset_zeroes_in_place_keeping_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0.0
+        assert registry.counter("c") is counter
+        counter.inc()  # cached references stay live after reset
+        assert registry.counter_values() == {"c": 1.0}
+
+
+class TestMerge:
+    def test_counter_merge_adds(self):
+        a = _registry({"x": 1, "y": 2})
+        b = _registry({"y": 3, "z": 4})
+        a.merge(b)
+        assert a.counter_values() == {"x": 1.0, "y": 5.0, "z": 4.0}
+
+    def test_counter_merge_is_associative(self):
+        parts = [
+            {"eas.evaluations": 10, "eas.rescues": 1},
+            {"eas.evaluations": 7, "repair.lts_moves": 2},
+            {"eas.rescues": 3, "repair.lts_moves": 5, "comm.link_probes": 11},
+        ]
+
+        left = _registry(parts[0]).merge(_registry(parts[1]))  # (a + b) + c
+        left.merge(_registry(parts[2]))
+        bc = _registry(parts[1]).merge(_registry(parts[2]))  # a + (b + c)
+        right = _registry(parts[0]).merge(bc)
+        assert left.counter_values() == right.counter_values()
+
+    def test_histogram_merge_is_associative(self):
+        def histo(values):
+            registry = MetricsRegistry()
+            for value in values:
+                registry.histogram("h").observe(value)
+            return registry
+
+        a, b, c = [1.0, 9.0], [4.0], [0.5, 2.0]
+        left = histo(a).merge(histo(b))
+        left.merge(histo(c))
+        right = histo(a).merge(histo(b).merge(histo(c)))
+        assert left.snapshot()["histograms"] == right.snapshot()["histograms"]
+        merged = left.histogram("h")
+        assert merged.count == 5
+        assert merged.min == 0.5
+        assert merged.max == 9.0
+
+    def test_gauge_merge_takes_written_operand(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1)
+        b = MetricsRegistry()
+        b.gauge("g")  # created but never written: must not clobber
+        a.merge(b)
+        assert a.gauge("g").value == 1
+        c = MetricsRegistry()
+        c.gauge("g").set(42)
+        a.merge(c)
+        assert a.gauge("g").value == 42
+
+    def test_copy_is_independent(self):
+        a = _registry({"x": 5})
+        clone = a.copy()
+        clone.counter("x").inc()
+        assert a.counter_values() == {"x": 5.0}
+        assert clone.counter_values() == {"x": 6.0}
+
+    def test_merge_empty_histogram_keeps_min_max_sane(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(3.0)
+        b = MetricsRegistry()
+        b.histogram("h")  # no observations
+        a.merge(b)
+        assert a.histogram("h").min == 3.0
+        assert a.histogram("h").max == 3.0
+        assert math.isinf(MetricsRegistry().histogram("fresh").min)

@@ -1,0 +1,123 @@
+"""Tests for repro.obs tracing: null overhead, nesting, exceptions."""
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+
+
+class TestNullTracer:
+    def test_default_instrumentation_uses_null_tracer(self):
+        ins = obs.get()
+        assert isinstance(ins.tracer, NullTracer)
+        assert not ins.tracer.enabled
+        assert not ins.decisions.enabled
+        assert not ins.recording
+
+    def test_span_is_shared_noop_singleton(self):
+        a = NULL_TRACER.span("slack_budgeting", tasks=10)
+        b = NULL_TRACER.span("level_schedule")
+        assert a is b is NULL_SPAN
+
+    def test_null_span_records_nothing(self):
+        with NULL_TRACER.span("phase") as span:
+            span.set_attribute("k", 1)
+        NULL_TRACER.event("boom", detail="x")
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.events == ()
+        assert NULL_TRACER.aggregate() == {}
+
+    def test_scheduler_run_leaves_no_trace_by_default(self, chain_ctg, acg2x2):
+        from repro.core.eas import eas_schedule
+
+        schedule = eas_schedule(chain_ctg, acg2x2)
+        assert obs.get().tracer.spans == ()
+        assert len(obs.get().decisions) == 0
+        assert schedule.provenance == []
+        # runtime accounting still works without tracing
+        assert schedule.runtime_seconds > 0.0
+
+
+class TestTracerNesting:
+    def test_spans_nest_and_close_in_order(self):
+        tracer = Tracer()
+        with tracer.span("outer", depth=0):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        inner, outer = tracer.spans
+        assert inner.parent == "outer"
+        assert outer.parent is None
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+        assert inner.status == outer.status == "ok"
+        assert tracer.open_depth == 0
+
+    def test_spans_close_correctly_under_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert all(s.status == "error" for s in tracer.spans)
+        assert "ValueError: boom" in tracer.spans[0].attrs["error"]
+        assert tracer.open_depth == 0
+        # The stack recovered: a later span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].parent is None
+
+    def test_set_attribute_and_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase") as span:
+                span.set_attribute("n", 1)
+        agg = tracer.aggregate()
+        assert agg["phase"][0] == 3
+        assert agg["phase"][1] >= 0.0
+
+    def test_events_record_time_and_attrs(self):
+        tracer = Tracer()
+        tracer.event("repair.gtm_accept", task="t1", dst_pe=3)
+        assert tracer.events[0].name == "repair.gtm_accept"
+        assert tracer.events[0].attrs == {"task": "t1", "dst_pe": 3}
+        assert tracer.events[0].time > 0
+
+
+class TestTimedPhase:
+    def test_always_measures_wall_time(self):
+        with obs.timed_phase("anything") as timing:
+            total = sum(range(1000))
+        assert total == 499500
+        assert timing.seconds > 0.0
+
+    def test_records_span_when_active_tracer_enabled(self):
+        ins = obs.Instrumentation.enabled()
+        with obs.activate(ins):
+            with obs.timed_phase("my_phase", key="value"):
+                pass
+        assert [s.name for s in ins.tracer.spans] == ["my_phase"]
+        assert ins.tracer.spans[0].attrs == {"key": "value"}
+
+    def test_measures_even_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with obs.timed_phase("failing") as timing:
+                raise RuntimeError("no")
+        assert timing.seconds > 0.0
+
+
+class TestActivate:
+    def test_activation_is_scoped_and_restores(self):
+        default = obs.get()
+        ins = obs.Instrumentation.enabled()
+        with obs.activate(ins):
+            assert obs.get() is ins
+        assert obs.get() is default
+
+    def test_activation_restores_on_exception(self):
+        default = obs.get()
+        with pytest.raises(KeyError):
+            with obs.activate(obs.Instrumentation.enabled()):
+                raise KeyError("x")
+        assert obs.get() is default
