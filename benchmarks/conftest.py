@@ -6,18 +6,118 @@ scheduler runtime the paper discusses) and prints the paper-style rows
 so `pytest benchmarks/ --benchmark-only -s` reproduces the evaluation
 section end to end.
 
+Telemetry: :func:`run_once` appends each run's wall time, energy, miss
+count and git revision to ``BENCH_<name>.json`` in the repository root
+via :class:`repro.obs.benchstore.BenchStore` — the persistent perf
+trajectory future optimisation PRs are measured against.  Set
+``REPRO_BENCH_DIR`` to redirect the store (``off`` disables it), and
+pass ``--bench-check`` to fail any benchmark that runs >10 % slower
+than its stored median.
+
 Scale: benchmarks default to 150-task random graphs (the paper uses
 ~500).  Set ``REPRO_FULL=1`` to run at full paper scale.
 """
 
 from __future__ import annotations
 
+import time
+from typing import Any, Dict, Optional, Tuple
+
 import pytest
+
+from repro.obs.benchstore import BenchRun, BenchStore
+
+_CONFIG = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-check",
+        action="store_true",
+        default=False,
+        help="fail benchmarks that run >10%% slower than their stored median",
+    )
+
+
+def pytest_configure(config):
+    global _CONFIG
+    _CONFIG = config
 
 
 def run_once(benchmark, fn):
-    """Run an experiment exactly once under the benchmark fixture."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    """Run an experiment exactly once under the benchmark fixture.
+
+    Also records the run into the persistent bench store (wall time plus
+    whatever energy/miss telemetry the result carries) and, under
+    ``--bench-check``, fails on a >10 % wall-time regression against the
+    stored median.
+    """
+    timing: Dict[str, float] = {}
+
+    def timed():
+        started = time.perf_counter()
+        result = fn()
+        timing["wall"] = time.perf_counter() - started
+        return result
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)
+    _record(benchmark.name, timing.get("wall"), result)
+    return result
+
+
+def _record(test_name: str, wall: Optional[float], result: Any) -> None:
+    if wall is None:
+        return
+    store = BenchStore.from_env()
+    if store is None:
+        return
+    name = test_name[len("test_"):] if test_name.startswith("test_") else test_name
+    check = store.check(name, wall)
+    energy, misses, extra = _telemetry_from_result(result)
+    store.append(
+        BenchRun(name=name, wall_seconds=wall, energy_nJ=energy, misses=misses, extra=extra)
+    )
+    if _CONFIG is not None and _CONFIG.getoption("--bench-check", default=False):
+        print(check.describe())
+        if check.regressed:
+            pytest.fail(f"benchmark regression: {check.describe()}", pytrace=False)
+
+
+def _telemetry_from_result(result: Any) -> Tuple[Optional[float], Optional[int], Dict[str, Any]]:
+    """(total energy, total misses, per-scheduler extras) from a result.
+
+    Understands :class:`~repro.evalx.experiments.ExperimentRow` objects
+    and (nested) lists/tuples of them; anything else records wall time
+    only.  Energy/misses prefer the ``eas`` column when present.
+    """
+    rows = list(_iter_rows(result))
+    if not rows:
+        return None, None, {}
+    energy_totals: Dict[str, float] = {}
+    miss_totals: Dict[str, int] = {}
+    for row in rows:
+        for scheduler, value in row.energies.items():
+            if value == value:  # skip NaN (infeasible points)
+                energy_totals[scheduler] = energy_totals.get(scheduler, 0.0) + value
+        for scheduler, value in row.misses.items():
+            miss_totals[scheduler] = miss_totals.get(scheduler, 0) + value
+    primary = "eas" if "eas" in energy_totals else next(iter(sorted(energy_totals)), None)
+    extra: Dict[str, Any] = {
+        "rows": len(rows),
+        "energy_by_scheduler": energy_totals,
+        "misses_by_scheduler": miss_totals,
+    }
+    energy = energy_totals.get(primary) if primary else None
+    misses = miss_totals.get(primary) if primary and primary in miss_totals else None
+    return energy, misses, extra
+
+
+def _iter_rows(result: Any):
+    if isinstance(result, (list, tuple)):
+        for item in result:
+            yield from _iter_rows(item)
+    elif hasattr(result, "energies") and hasattr(result, "misses"):
+        yield result
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ everything Definitions 2-4 and the schedulers need.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.energy import BitEnergyModel

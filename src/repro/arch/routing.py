@@ -10,7 +10,7 @@ that path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.arch.topology import Coord, HoneycombTopology, Mesh2D, Topology, Torus2D
 from repro.errors import RoutingError

@@ -11,7 +11,7 @@ matching the paper's Fig. 1 tile labels ``(row, col)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ArchitectureError
 

@@ -17,7 +17,7 @@ the paper quantifies as 39-55 % extra energy.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro import obs
 from repro.arch.acg import ACG

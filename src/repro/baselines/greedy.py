@@ -12,7 +12,7 @@ Neither is in the paper; both bracket the EAS/EDF comparison.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro import obs
 from repro.arch.acg import ACG

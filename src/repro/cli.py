@@ -7,7 +7,10 @@ single benchmark and print its Gantt chart:
 * ``repro-noc table1`` / ``table2`` / ``table3`` — multimedia tables,
 * ``repro-noc fig7`` — the performance/energy trade-off sweep,
 * ``repro-noc schedule --system encoder --clip foreman`` — one run,
-  with Gantt output.
+  with Gantt output,
+* ``repro-noc inspect --format chrome`` — schedule one benchmark and
+  export its timeline as Chrome Trace Format for Perfetto, or per-PE /
+  per-link analytics as text / JSON.
 """
 
 from __future__ import annotations
@@ -104,18 +107,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=_handle_fig7)
 
     p = sub.add_parser("schedule", help="schedule one benchmark and show the Gantt chart")
-    p.add_argument("--system", default="encoder", choices=["encoder", "decoder", "integrated", "random"])
-    p.add_argument("--clip", default="foreman", choices=CLIP_NAMES)
-    p.add_argument("--algorithm", default="eas", choices=["eas", "eas-base", "edf"])
-    p.add_argument("--category", type=int, default=1, choices=[1, 2], help="random category")
-    p.add_argument("--index", type=int, default=0, help="random benchmark index")
-    p.add_argument("--n-tasks", type=int, default=60, help="random benchmark size")
+    _add_benchmark_arguments(p)
     p.add_argument("--links", action="store_true", help="include link rows in the Gantt chart")
-    p.add_argument("--dvs", action="store_true", help="apply the DVS slack-reclamation post-pass")
     p.add_argument("--save", metavar="FILE", help="write the schedule as JSON")
     p.add_argument("--svg", metavar="FILE", help="write an SVG Gantt chart")
     p.add_argument("--svg-platform", metavar="FILE", help="write an SVG platform/mapping view")
     p.set_defaults(handler=_handle_schedule)
+
+    p = sub.add_parser(
+        "inspect",
+        help="schedule one benchmark and export its timeline / resource analytics",
+    )
+    _add_benchmark_arguments(p)
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["chrome", "json", "text"],
+        help="chrome = Chrome Trace Format for Perfetto/chrome://tracing, "
+        "json = analytics report, text = human-readable report",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="-",
+        help="output path ('-' = stdout, the default)",
+    )
+    p.add_argument(
+        "--idle-links",
+        action="store_true",
+        help="chrome format: render a lane for every topology link, even unused ones",
+    )
+    p.set_defaults(handler=_handle_inspect)
 
     p = sub.add_parser("compare", help="EAS vs EDF decomposition on one benchmark")
     p.add_argument("--system", default="encoder", choices=["encoder", "decoder", "integrated"])
@@ -191,7 +213,19 @@ def _handle_fig7(args) -> int:
     return 0
 
 
-def _handle_schedule(args) -> int:
+def _add_benchmark_arguments(p) -> None:
+    """Benchmark-selection flags shared by ``schedule`` and ``inspect``."""
+    p.add_argument("--system", default="encoder", choices=["encoder", "decoder", "integrated", "random"])
+    p.add_argument("--clip", default="foreman", choices=CLIP_NAMES)
+    p.add_argument("--algorithm", default="eas", choices=["eas", "eas-base", "edf"])
+    p.add_argument("--category", type=int, default=1, choices=[1, 2], help="random category")
+    p.add_argument("--index", type=int, default=0, help="random benchmark index")
+    p.add_argument("--n-tasks", type=int, default=60, help="random benchmark size")
+    p.add_argument("--dvs", action="store_true", help="apply the DVS slack-reclamation post-pass")
+
+
+def _build_benchmark(args):
+    """(ctg, acg) for the benchmark the shared selection flags name."""
     if args.system == "random":
         ctg = generate_category(args.category, args.index, n_tasks=args.n_tasks)
         acg = mesh_4x4(shuffle_seed=100 + args.index)
@@ -203,6 +237,10 @@ def _handle_schedule(args) -> int:
         }[args.system]
         ctg = builder[0](args.clip)
         acg = builder[1]()
+    return ctg, acg
+
+
+def _run_selected_scheduler(args, ctg, acg, report_dvs: bool = True):
     scheduler = {
         "eas": eas_schedule,
         "eas-base": eas_base_schedule,
@@ -213,10 +251,17 @@ def _handle_schedule(args) -> int:
         from repro.core.dvs import apply_dvs
 
         schedule, report = apply_dvs(schedule)
-        print(
-            f"DVS: scaled {report.tasks_scaled} tasks, "
-            f"saved {report.savings_pct:.1f}% energy"
-        )
+        if report_dvs:
+            print(
+                f"DVS: scaled {report.tasks_scaled} tasks, "
+                f"saved {report.savings_pct:.1f}% energy"
+            )
+    return schedule
+
+
+def _handle_schedule(args) -> int:
+    ctg, acg = _build_benchmark(args)
+    schedule = _run_selected_scheduler(args, ctg, acg)
     print(schedule.summary())
     print(render_gantt(schedule, include_links=args.links))
     if args.save:
@@ -237,6 +282,57 @@ def _handle_schedule(args) -> int:
         with open(args.svg_platform, "w") as handle:
             handle.write(render_platform_svg(schedule))
         print(f"SVG platform view written to {args.svg_platform}")
+    return 0
+
+
+def _handle_inspect(args) -> int:
+    import json as _json
+    from contextlib import nullcontext
+
+    from repro.core.slack import compute_budgets
+
+    ctg, acg = _build_benchmark(args)
+    # The timeline wants scheduler spans even without --trace/--profile:
+    # activate a recording bundle unless one is already active.
+    instrumentation = obs.get()
+    context = nullcontext(instrumentation)
+    if not instrumentation.recording:
+        instrumentation = obs.Instrumentation.enabled()
+        context = obs.activate(instrumentation)
+    with context:
+        schedule = _run_selected_scheduler(args, ctg, acg, report_dvs=False)
+        budgets = compute_budgets(ctg, acg)
+    report = obs.analyze_schedule(schedule, budgets=budgets)
+    report.register(obs.get().metrics)
+
+    if args.format == "chrome":
+        document = obs.timeline.chrome_trace(
+            schedule, tracer=instrumentation.tracer, include_idle_links=args.idle_links
+        )
+        payload = _json.dumps(document, indent=1, allow_nan=False) + "\n"
+        summary = (
+            f"inspect: {len(document['traceEvents'])} trace events "
+            f"({schedule.summary()})"
+        )
+    elif args.format == "json":
+        payload = _json.dumps(report.to_dict(), indent=1) + "\n"
+        summary = f"inspect: analytics report ({schedule.summary()})"
+    else:
+        payload = schedule.summary() + "\n\n" + report.format_text() + "\n"
+        summary = None
+
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(payload)
+        except OSError as exc:
+            print(f"repro-noc: error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        if summary is None:
+            summary = f"inspect: report ({schedule.summary()})"
+        print(f"{summary} -> {args.out}", file=sys.stderr)
     return 0
 
 

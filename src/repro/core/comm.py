@@ -16,7 +16,7 @@ every time a F(i,k) is calculated".
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from repro import obs
 from repro.arch.acg import ACG

@@ -28,8 +28,8 @@ forced placement risks losing it, so it is treated as maximal regret
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.arch.acg import ACG
@@ -38,7 +38,7 @@ from repro.obs.decisions import Candidate, TaskDecision
 from repro.core.slack import TaskBudget, WeightPolicy, compute_budgets, weight_var_product
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
-from repro.schedule.entries import CommPlacement, TaskPlacement
+from repro.schedule.entries import TaskPlacement
 from repro.schedule.overlay import ResourceTables
 from repro.schedule.schedule import Schedule
 from repro.schedule.table import EPS

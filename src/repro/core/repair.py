@@ -22,13 +22,13 @@ the procedure converge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
 from repro.core.rebuild import rebuild_schedule
-from repro.errors import InfeasibleOrderError, SchedulingError
+from repro.errors import InfeasibleOrderError
 from repro.schedule.schedule import Schedule
 
 MissMetric = Tuple[int, float]

@@ -8,7 +8,7 @@ arithmetic, exactly as the paper's slack-budgeting step does with ``M_t``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.ctg.graph import CTG
 

@@ -21,15 +21,14 @@ II" is a deterministic object.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
-from repro.arch.pe import PEType, STANDARD_PE_TYPES
+from repro.arch.pe import STANDARD_PE_TYPES
 from repro.ctg.graph import CTG
 from repro.ctg.task import CommEdge, Task, TaskCosts
 from repro.errors import CTGError
-from repro.rng import RandomLike, make_rng, triangular_int
+from repro.rng import make_rng, triangular_int
 
 #: PE classes the generated cost tables cover (matches the mesh presets).
 DEFAULT_PE_TYPE_NAMES: Tuple[str, ...] = ("cpu", "dsp", "arm", "risc")

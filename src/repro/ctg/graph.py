@@ -8,7 +8,6 @@ in/out edges with volumes).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx

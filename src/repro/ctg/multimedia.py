@@ -21,7 +21,7 @@ Units: time in microseconds, volumes in bits, energy in nJ.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.arch.pe import STANDARD_PE_TYPES
 from repro.ctg.graph import CTG

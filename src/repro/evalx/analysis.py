@@ -11,7 +11,7 @@ the two views every evaluation in this repository is narrated with.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.errors import ReproError
 from repro.schedule.schedule import Schedule

@@ -30,11 +30,12 @@ from repro import obs
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
 from repro.baselines.edf import edf_schedule
-from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
-from repro.core.repair import RepairConfig, search_and_repair
+from repro.core.eas import eas_base_schedule, eas_schedule
+from repro.core.repair import search_and_repair
 from repro.ctg.generator import generate_category
 from repro.ctg.graph import CTG
 from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
+from repro.obs.utilization import analyze_schedule
 from repro.schedule.schedule import Schedule
 
 #: Number of random benchmarks per category, as in the paper.
@@ -267,6 +268,12 @@ def _compare(
         extras[f"{name}:comm"] = schedule.communication_energy()
         extras[f"{name}:hops"] = schedule.average_hops_per_packet()
         metrics.update(_headline_metrics(name, before, registry.counter_values()))
+        # Per-resource analytics: peak PE load and link contention wait,
+        # as table columns and as ``util.<scheduler>.*`` gauges.
+        report = analyze_schedule(schedule)
+        report.register(registry, prefix=f"util.{name}.")
+        metrics[f"{name}:peakpe"] = round(report.peak_pe_utilization, 3)
+        metrics[f"{name}:cwait"] = round(report.total_contention_wait, 1)
     return ExperimentRow(
         benchmark=benchmark_name or ctg.name,
         energies=energies,

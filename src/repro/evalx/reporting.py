@@ -8,7 +8,7 @@ series for the trade-off figure.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.evalx.experiments import ExperimentRow, FigureSeries
 

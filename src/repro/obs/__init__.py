@@ -24,7 +24,8 @@ Typical use::
     print(obs.export.format_profile(ins))
 """
 
-from repro.obs import export
+from repro.obs import benchstore, export, timeline, utilization
+from repro.obs.benchstore import BenchRun, BenchStore, RegressionCheck
 from repro.obs.context import (
     Instrumentation,
     PhaseTiming,
@@ -34,9 +35,13 @@ from repro.obs.context import (
 )
 from repro.obs.decisions import Candidate, DecisionLog, TaskDecision
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timeline import chrome_trace, write_chrome_trace
 from repro.obs.tracer import NULL_TRACER, Event, NullTracer, Span, Tracer
+from repro.obs.utilization import UtilizationReport, analyze_schedule
 
 __all__ = [
+    "BenchRun",
+    "BenchStore",
     "Candidate",
     "Counter",
     "DecisionLog",
@@ -48,11 +53,19 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PhaseTiming",
+    "RegressionCheck",
     "Span",
     "TaskDecision",
     "Tracer",
+    "UtilizationReport",
     "activate",
+    "analyze_schedule",
+    "benchstore",
+    "chrome_trace",
     "export",
     "get",
     "timed_phase",
+    "timeline",
+    "utilization",
+    "write_chrome_trace",
 ]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Union
 
 from repro.obs.decisions import DecisionLog

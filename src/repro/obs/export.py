@@ -14,29 +14,45 @@ The JSONL trace is one JSON object per line, each carrying a ``type``:
 ========== ==================================================================
 
 Non-finite floats are serialised as the strings ``"inf"`` / ``"-inf"`` /
-``"nan"`` so every line is strict JSON.  :func:`format_profile` renders
-the same data as the ``--profile`` stderr summary: a phase-timing table
-aggregated per span name, counter totals, and decision statistics.
+``"nan"`` so every line is strict JSON.  Record ordering is
+deterministic — spans and events chronological (ties broken by name),
+decisions in commit order, instruments sorted by name — so two traces of
+the same run diff cleanly line by line.  :func:`write_trace` writes to a
+file, to stdout (path ``"-"``) or transparently gzipped (``*.gz``).
+:func:`format_profile` renders the same data as the ``--profile`` stderr
+summary: a phase-timing table sorted by descending self-time (with a
+percent-of-total column), counter totals, and decision statistics.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
-from typing import Any, Dict, Iterator, Optional
+import sys
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.obs.context import Instrumentation
 
 #: bump when the line schema changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+#: v2: deterministic record ordering (chronological spans/events).
+TRACE_SCHEMA_VERSION = 2
 
 
 def trace_records(
     instrumentation: Instrumentation, meta: Optional[Dict[str, Any]] = None
 ) -> Iterator[Dict[str, Any]]:
-    """Yield every trace line of the bundle as a plain dict."""
+    """Yield every trace line of the bundle as a plain dict.
+
+    The order is deterministic: ``meta`` first, spans sorted by wall
+    start (close order puts children before parents, which interleaves
+    unpredictably under refactors), events by time, decisions in commit
+    order, then counters / gauges / histograms sorted by name.
+    """
     yield {"type": "meta", "schema_version": TRACE_SCHEMA_VERSION, **(meta or {})}
-    for span in instrumentation.tracer.spans:
+    for span in sorted(
+        instrumentation.tracer.spans, key=lambda s: (s.start_wall, -s.duration, s.name)
+    ):
         yield {
             "type": "span",
             "name": span.name,
@@ -46,7 +62,7 @@ def trace_records(
             "status": span.status,
             "attrs": _jsonable_attrs(span.attrs),
         }
-    for event in instrumentation.tracer.events:
+    for event in sorted(instrumentation.tracer.events, key=lambda e: (e.time, e.name)):
         yield {
             "type": "event",
             "name": event.name,
@@ -74,26 +90,71 @@ def trace_records(
 def write_trace(
     path: str, instrumentation: Instrumentation, meta: Optional[Dict[str, Any]] = None
 ) -> int:
-    """Write the bundle as JSONL to ``path``; returns the line count."""
-    count = 0
+    """Write the bundle as JSONL to ``path``; returns the line count.
+
+    ``path`` may be ``"-"`` (write to stdout, so traces pipe into
+    ``jq``/``grep`` directly) or end in ``.gz`` (written gzip-compressed;
+    readers like ``zcat`` and ``gzip.open`` see plain JSONL).
+    """
+    if path == "-":
+        return _write_records(sys.stdout, instrumentation, meta)
+    if path.endswith(".gz"):
+        with gzip.open(path, "wt") as handle:
+            return _write_records(handle, instrumentation, meta)
     with open(path, "w") as handle:
-        for record in trace_records(instrumentation, meta):
-            handle.write(json.dumps(record, allow_nan=False))
-            handle.write("\n")
-            count += 1
+        return _write_records(handle, instrumentation, meta)
+
+
+def _write_records(
+    handle, instrumentation: Instrumentation, meta: Optional[Dict[str, Any]]
+) -> int:
+    count = 0
+    for record in trace_records(instrumentation, meta):
+        handle.write(json.dumps(record, allow_nan=False))
+        handle.write("\n")
+        count += 1
     return count
 
 
+def aggregate_self_times(instrumentation: Instrumentation) -> Dict[str, Tuple[int, float, float]]:
+    """Per span name: ``(count, total seconds, self seconds)``.
+
+    Self time is the span's total minus the time spent in its direct
+    children (matched by parent name), the number that actually ranks
+    hot phases — a driver span that merely wraps the whole run has a
+    huge total but near-zero self time.
+    """
+    totals = instrumentation.tracer.aggregate()
+    child_time: Dict[str, float] = {}
+    for span in instrumentation.tracer.spans:
+        if span.parent is not None:
+            child_time[span.parent] = child_time.get(span.parent, 0.0) + span.duration
+    return {
+        name: (count, seconds, max(0.0, seconds - child_time.get(name, 0.0)))
+        for name, (count, seconds) in totals.items()
+    }
+
+
 def format_profile(instrumentation: Instrumentation) -> str:
-    """The ``--profile`` stderr summary: phases, counters, decisions."""
+    """The ``--profile`` stderr summary: phases, counters, decisions.
+
+    Phases are sorted by descending *self* time and carry a
+    percent-of-total column, so the hot phase reads off the first line.
+    """
     lines = ["== phase timings =="]
-    aggregated = instrumentation.tracer.aggregate()
+    aggregated = aggregate_self_times(instrumentation)
     if aggregated:
         width = max(len(name) for name in aggregated)
-        for name, (count, seconds) in sorted(
-            aggregated.items(), key=lambda item: -item[1][1]
+        total_self = sum(self_s for _, _, self_s in aggregated.values())
+        for name, (count, seconds, self_s) in sorted(
+            aggregated.items(), key=lambda item: (-item[1][2], item[0])
         ):
-            lines.append(f"  {name.ljust(width)}  x{count:<5d} {seconds * 1e3:10.2f} ms")
+            pct = 100.0 * self_s / total_self if total_self > 0 else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  x{count:<5d} "
+                f"self {self_s * 1e3:10.2f} ms ({pct:5.1f}%)  "
+                f"total {seconds * 1e3:10.2f} ms"
+            )
     else:
         lines.append("  (no spans recorded)")
 

@@ -17,7 +17,7 @@ in uninstrumented runs.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict
 
 
 class Counter:

@@ -6,7 +6,7 @@ transactions landed, mirroring the paper's Fig. 1 schedule-table sketch.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.schedule.schedule import Schedule
 

@@ -11,7 +11,7 @@ tentative reservations in a small per-evaluation overlay.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence
 
 from repro.schedule.table import Interval, ScheduleTable, find_gap, merge_busy
 

@@ -14,7 +14,7 @@ transfers occupy nothing).
 from __future__ import annotations
 
 import math
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_right, insort
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import SchedulingError

@@ -16,7 +16,6 @@ evaluation section reports.
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

@@ -6,9 +6,8 @@ import pytest
 
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
-from repro.arch.topology import Mesh2D
 from repro.ctg.graph import CTG
-from repro.ctg.task import CommEdge, Task, TaskCosts
+from repro.ctg.task import Task, TaskCosts
 
 
 def make_task(name, time_by_type, energy_by_type=None, deadline=float("inf")):

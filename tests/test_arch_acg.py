@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.arch.acg import ACG, DEFAULT_BANDWIDTH
+from repro.arch.acg import ACG
 from repro.arch.energy import BitEnergyModel
-from repro.arch.pe import STANDARD_PE_TYPES, PE, pe_type
+from repro.arch.pe import STANDARD_PE_TYPES, pe_type
 from repro.arch.presets import DEFAULT_TYPE_CYCLE, hetero_mesh, mesh_2x2, mesh_3x3, mesh_4x4
 from repro.arch.routing import YXRouting
 from repro.arch.topology import Link, Mesh2D

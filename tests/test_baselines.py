@@ -3,14 +3,13 @@
 import pytest
 
 from repro.arch.acg import ACG
-from repro.arch.presets import mesh_2x2, mesh_4x4
+from repro.arch.presets import mesh_4x4
 from repro.arch.topology import Mesh2D
 from repro.baselines.edf import edf_schedule
 from repro.baselines.greedy import greedy_energy_schedule, random_schedule
 from repro.core.eas import eas_base_schedule
 from repro.ctg.generator import generate_category
 from repro.ctg.graph import CTG
-from repro.errors import SchedulingError
 
 from tests.conftest import make_task, uniform_task
 

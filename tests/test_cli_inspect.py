@@ -1,0 +1,126 @@
+"""Tests for the ``repro-noc inspect`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.timeline import PID_LINKS, PID_PES, PID_SCHEDULER
+
+
+class TestChromeFormat:
+    def test_category1_ctg_produces_valid_ctf(self, tmp_path, capsys):
+        """The acceptance criterion: scheduled cat-I CTG -> valid CTF file."""
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "inspect",
+                    "--system",
+                    "random",
+                    "--category",
+                    "1",
+                    "--n-tasks",
+                    "40",
+                    "--format",
+                    "chrome",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "trace events" in capsys.readouterr().err
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        # CTF event schema: phase + pid everywhere, ts/dur on data events.
+        for event in events:
+            assert "ph" in event and "pid" in event and "name" in event
+            if event["ph"] == "X":
+                assert "ts" in event and "dur" in event and "tid" in event
+        pids = {e["pid"] for e in events}
+        assert {PID_PES, PID_LINKS, PID_SCHEDULER} <= pids  # PE, link, span lanes
+        assert document["otherData"]["algorithm"] == "eas"
+
+    def test_chrome_to_stdout(self, capsys):
+        assert main(["inspect", "--system", "decoder", "--format", "chrome"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+
+    def test_respects_algorithm_choice(self, capsys):
+        assert (
+            main(["inspect", "--system", "encoder", "--algorithm", "edf", "--format", "chrome"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["otherData"]["algorithm"] == "edf"
+
+
+class TestTextFormat:
+    def test_report_sections_on_stdout(self, capsys):
+        assert main(["inspect", "--system", "encoder", "--clip", "foreman"]) == 0
+        out = capsys.readouterr().out
+        assert "== PE utilisation ==" in out
+        assert "== link occupancy ==" in out
+        assert "== energy breakdown ==" in out
+        assert "== slack audit" in out
+        assert "Schedule[eas]" in out
+
+    def test_dvs_flag_accepted(self, capsys):
+        assert main(["inspect", "--system", "decoder", "--dvs"]) == 0
+        assert "== PE utilisation ==" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_report_roundtrips(self, capsys):
+        assert main(["inspect", "--system", "decoder", "--format", "json"]) == 0
+        decoded = json.loads(capsys.readouterr().out)
+        assert decoded["algorithm"] == "eas"
+        assert decoded["pes"] and "utilization" in decoded["pes"][0]
+        assert "slack" in decoded
+
+    def test_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["inspect", "--system", "decoder", "--format", "json", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["benchmark"]
+
+
+class TestErrors:
+    def test_unwritable_out_path(self, tmp_path, capsys):
+        bad = tmp_path / "missing" / "out.json"
+        assert main(["inspect", "--system", "decoder", "--out", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "repro-noc: error: cannot write" in err
+        assert "Traceback" not in err
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "--format", "pdf"])
+
+
+class TestObservabilityInterplay:
+    def test_inspect_composes_with_trace_flag(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        out = tmp_path / "ctf.json"
+        assert (
+            main(
+                [
+                    "inspect",
+                    "--system",
+                    "decoder",
+                    "--format",
+                    "chrome",
+                    "--out",
+                    str(out),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        # Both artefacts written; the CTF reuses the --trace bundle's spans.
+        ctf = json.loads(out.read_text())
+        span_lane = [e for e in ctf["traceEvents"] if e["pid"] == PID_SCHEDULER]
+        assert span_lane
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(r["type"] == "span" for r in records)

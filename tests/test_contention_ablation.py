@@ -5,7 +5,6 @@ scheduling yields optimistic timings; these tests pin the machinery the
 ABL-C benchmark uses to demonstrate that.
 """
 
-import pytest
 
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_4x4

@@ -1,6 +1,5 @@
 """Tests for the DVS slack-reclamation post-pass (extension)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for Step 2 (level-based scheduling) and the EAS driver."""
 
-import math
 
 import pytest
 
@@ -10,7 +9,6 @@ from repro.core.eas import EASConfig, LevelBasedScheduler, eas_base_schedule, ea
 from repro.core.slack import compute_budgets
 from repro.ctg.graph import CTG
 from repro.ctg.task import Task, TaskCosts
-from repro.errors import SchedulingError
 
 from tests.conftest import make_task, uniform_task
 

@@ -1,6 +1,5 @@
 """Tests for periodic (pipelined) execution analysis."""
 
-import math
 
 import pytest
 

@@ -14,7 +14,6 @@ from repro.core.repair import (
 )
 from repro.ctg.generator import generate_category
 from repro.ctg.graph import CTG
-from repro.ctg.task import Task, TaskCosts
 
 from tests.conftest import make_task, uniform_task
 

@@ -6,16 +6,10 @@ import pytest
 
 from repro.arch.acg import ACG
 from repro.arch.topology import Mesh2D
-from repro.core.slack import (
-    WEIGHT_POLICIES,
-    compute_budgets,
-    weight_uniform,
-    weight_var_product,
-)
+from repro.core.slack import WEIGHT_POLICIES, compute_budgets, weight_uniform
 from repro.ctg.graph import CTG
-from repro.ctg.task import Task, TaskCosts
 
-from tests.conftest import make_task, uniform_task
+from tests.conftest import uniform_task
 
 
 def paper_chain_acg():

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.ctg.analysis import (
     critical_path_length,

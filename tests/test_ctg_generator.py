@@ -1,6 +1,5 @@
 """Tests for the TGFF-style random benchmark generator."""
 
-import math
 
 import pytest
 

@@ -1,11 +1,10 @@
 """Tests for the CTG container: construction, queries, transforms."""
 
-import math
 
 import pytest
 
 from repro.ctg.graph import CTG
-from repro.ctg.task import CommEdge, Task, TaskCosts
+from repro.ctg.task import Task, TaskCosts
 from repro.errors import CTGError
 
 from tests.conftest import uniform_task

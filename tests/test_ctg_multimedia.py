@@ -1,6 +1,5 @@
 """Tests for the multimedia system benchmarks (Sec. 6.2 substitutes)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for CTG JSON serialisation."""
 
-import json
 import math
 
 import pytest

@@ -1,0 +1,175 @@
+"""Tests for the persistent benchmark telemetry store (obs.benchstore)."""
+
+import json
+
+import pytest
+
+from repro.obs.benchstore import (
+    BENCH_SCHEMA_VERSION,
+    BenchRun,
+    BenchStore,
+    current_git_rev,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return BenchStore(tmp_path)
+
+
+class TestPersistence:
+    def test_append_creates_versioned_document(self, store):
+        path = store.append(BenchRun(name="fig5", wall_seconds=1.25, energy_nJ=100.0, misses=0))
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert document["benchmark"] == "fig5"
+        (run,) = document["runs"]
+        assert run["wall_seconds"] == 1.25
+        assert run["energy_nJ"] == 100.0
+        assert run["misses"] == 0
+        assert run["timestamp"] > 0
+        assert run["git_rev"]
+
+    def test_runs_append_in_order(self, store):
+        for wall in (1.0, 2.0, 3.0):
+            store.append(BenchRun(name="fig5", wall_seconds=wall))
+        walls = [run["wall_seconds"] for run in store.load("fig5")]
+        assert walls == [1.0, 2.0, 3.0]
+
+    def test_one_file_per_benchmark(self, store):
+        store.append(BenchRun(name="fig5", wall_seconds=1.0))
+        store.append(BenchRun(name="table1", wall_seconds=2.0))
+        assert store.path_for("fig5").name == "BENCH_fig5.json"
+        assert store.path_for("table1").exists()
+        assert len(store.load("fig5")) == 1
+
+    def test_extra_payload_roundtrips(self, store):
+        store.append(
+            BenchRun(
+                name="fig5",
+                wall_seconds=1.0,
+                extra={"rows": 10, "energy_by_scheduler": {"eas": 5.0}},
+            )
+        )
+        (run,) = store.load("fig5")
+        assert run["extra"]["energy_by_scheduler"]["eas"] == 5.0
+
+    def test_corrupt_file_treated_as_empty(self, store):
+        store.path_for("fig5").write_text("{not json")
+        assert store.load("fig5") == []
+        store.append(BenchRun(name="fig5", wall_seconds=1.0))  # recovers
+        assert len(store.load("fig5")) == 1
+
+    def test_missing_file_is_empty_history(self, store):
+        assert store.load("never-ran") == []
+        assert store.median_wall("never-ran") is None
+
+
+class TestRegressionGate:
+    def _seed(self, store, walls):
+        for wall in walls:
+            store.append(BenchRun(name="b", wall_seconds=wall))
+
+    def test_median_odd_and_even(self, store):
+        self._seed(store, [1.0, 3.0, 2.0])
+        assert store.median_wall("b") == 2.0
+        store.append(BenchRun(name="b", wall_seconds=4.0))
+        assert store.median_wall("b") == 2.5
+
+    def test_within_threshold_is_ok(self, store):
+        self._seed(store, [1.0, 1.0, 1.0])
+        check = store.check("b", 1.05)
+        assert not check.regressed
+        assert check.ratio == pytest.approx(1.05)
+        assert "[ok]" in check.describe()
+
+    def test_over_threshold_is_regression(self, store):
+        self._seed(store, [1.0, 1.0, 1.0])
+        check = store.check("b", 1.2)
+        assert check.regressed
+        assert "REGRESSION" in check.describe()
+
+    def test_faster_is_never_a_regression(self, store):
+        self._seed(store, [1.0])
+        assert not store.check("b", 0.5).regressed
+
+    def test_no_baseline_no_regression(self, store):
+        check = store.check("b", 10.0)
+        assert check.median_seconds is None
+        assert not check.regressed
+        assert "no stored baseline" in check.describe()
+
+    def test_median_is_robust_to_one_outlier(self, store):
+        self._seed(store, [1.0, 1.0, 50.0])
+        assert store.median_wall("b") == 1.0
+        assert not store.check("b", 1.05).regressed
+
+    def test_custom_threshold(self, store):
+        self._seed(store, [1.0])
+        assert store.check("b", 1.2, threshold=0.5).regressed is False
+        assert store.check("b", 1.6, threshold=0.5).regressed is True
+
+
+class TestEnvironment:
+    def test_from_env_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", "off")
+        assert BenchStore.from_env() is None
+
+    def test_from_env_custom_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        store = BenchStore.from_env()
+        assert store is not None and store.root == tmp_path
+
+    def test_from_env_defaults_to_repo_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        store = BenchStore.from_env()
+        assert store is not None
+        assert (store.root / "pyproject.toml").exists()
+
+    def test_git_rev_resolves_in_repo(self):
+        rev = current_git_rev()
+        assert rev  # "unknown" outside a repo, a short hash inside
+
+    def test_git_rev_unknown_outside_repo(self, tmp_path):
+        assert current_git_rev(tmp_path / "nowhere") == "unknown"
+
+
+class TestHarnessTelemetry:
+    def test_experiment_rows_condense_to_energy_and_misses(self):
+        from benchmarks.conftest import _telemetry_from_result
+        from repro.evalx.experiments import ExperimentRow
+
+        rows = [
+            ExperimentRow("b0", energies={"eas": 10.0, "edf": 15.0}, misses={"eas": 0, "edf": 2}),
+            ExperimentRow("b1", energies={"eas": 20.0, "edf": 25.0}, misses={"eas": 1, "edf": 3}),
+        ]
+        energy, misses, extra = _telemetry_from_result(rows)
+        assert energy == pytest.approx(30.0)
+        assert misses == 1
+        assert extra["rows"] == 2
+        assert extra["energy_by_scheduler"]["edf"] == pytest.approx(40.0)
+
+    def test_nested_tuples_and_foreign_results(self):
+        from benchmarks.conftest import _telemetry_from_result
+        from repro.evalx.experiments import ExperimentRow
+
+        nested = (
+            [ExperimentRow("a", energies={"eas": 1.0}, misses={"eas": 0})],
+            [ExperimentRow("b", energies={"eas": 2.0}, misses={"eas": 0})],
+        )
+        energy, _, extra = _telemetry_from_result(nested)
+        assert energy == pytest.approx(3.0)
+        assert extra["rows"] == 2
+        assert _telemetry_from_result(object()) == (None, None, {})
+
+    def test_nan_energies_skipped(self):
+        from benchmarks.conftest import _telemetry_from_result
+        from repro.evalx.experiments import ExperimentRow
+
+        rows = [
+            ExperimentRow("a", energies={"eas": float("nan")}, misses={"eas": 1}),
+            ExperimentRow("b", energies={"eas": 2.0}, misses={"eas": 0}),
+        ]
+        energy, misses, _ = _telemetry_from_result(rows)
+        assert energy == pytest.approx(2.0)
+        assert misses == 1

@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main
 from repro.ctg.multimedia import av_encoder_ctg
 from repro.errors import SchedulingError
+from repro.obs.export import TRACE_SCHEMA_VERSION
 
 
 class TestProfileFlag:
@@ -47,7 +48,7 @@ class TestTraceFlag:
         assert "trace:" in capsys.readouterr().err
         records = [json.loads(line) for line in trace.read_text().splitlines()]
         assert records[0]["type"] == "meta"
-        assert records[0]["schema_version"] == 1
+        assert records[0]["schema_version"] == TRACE_SCHEMA_VERSION
         assert records[0]["command"] == "schedule"
 
         decisions = [r for r in records if r["type"] == "decision"]

@@ -1,0 +1,113 @@
+"""Tests for trace output destinations and the profile formatter."""
+
+import gzip
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    aggregate_self_times,
+    format_profile,
+    trace_records,
+    write_trace,
+)
+
+
+def _recorded_bundle():
+    """A bundle with a parent span wrapping a hot child, plus metrics."""
+    ins = obs.Instrumentation.enabled()
+    with obs.activate(ins):
+        with ins.tracer.span("driver"):
+            with ins.tracer.span("hot_phase"):
+                time.sleep(0.02)
+            with ins.tracer.span("cold_phase"):
+                pass
+        ins.tracer.event("tick", detail="x")
+        ins.metrics.counter("c.one").inc(3)
+    return ins
+
+
+class TestTraceDestinations:
+    def test_stdout_destination(self, capsys):
+        ins = _recorded_bundle()
+        count = write_trace("-", ins, meta={"command": "t"})
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == count
+        assert json.loads(lines[0])["type"] == "meta"
+
+    def test_gzip_destination_is_transparent(self, tmp_path):
+        ins = _recorded_bundle()
+        path = tmp_path / "trace.jsonl.gz"
+        count = write_trace(str(path), ins)
+        with gzip.open(path, "rt") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == count
+        records = [json.loads(line) for line in lines]
+        assert {r["type"] for r in records} >= {"meta", "span", "counter"}
+        # Actually compressed on disk (gzip magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_plain_file_unchanged(self, tmp_path):
+        ins = _recorded_bundle()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(str(path), ins)
+        assert len(path.read_text().splitlines()) == count
+
+
+class TestDeterministicOrdering:
+    def test_same_bundle_yields_identical_record_stream(self):
+        ins = _recorded_bundle()
+        a = list(trace_records(ins, meta={"command": "t"}))
+        b = list(trace_records(ins, meta={"command": "t"}))
+        assert a == b
+
+    def test_spans_chronological_not_close_order(self):
+        ins = _recorded_bundle()
+        spans = [r for r in trace_records(ins) if r["type"] == "span"]
+        # Close order would put children first; chronological puts the
+        # enclosing driver span first.
+        assert spans[0]["name"] == "driver"
+        starts = [s["start"] for s in spans]
+        assert starts == sorted(starts)
+
+    def test_record_type_blocks_in_fixed_order(self):
+        ins = _recorded_bundle()
+        types = [r["type"] for r in trace_records(ins)]
+        seen_order = list(dict.fromkeys(types))
+        assert seen_order == [t for t in ("meta", "span", "event", "counter") if t in seen_order]
+
+
+class TestFormatProfile:
+    def test_self_time_excludes_children(self):
+        ins = _recorded_bundle()
+        aggregated = aggregate_self_times(ins)
+        count, total, self_s = aggregated["driver"]
+        assert count == 1
+        # The driver wraps both children; nearly all its time is theirs.
+        assert self_s < total
+        assert self_s == pytest.approx(
+            total - aggregated["hot_phase"][1] - aggregated["cold_phase"][1],
+            abs=1e-9,
+        )
+
+    def test_sorted_by_descending_self_time_with_percent(self):
+        ins = _recorded_bundle()
+        text = format_profile(ins)
+        lines = [line for line in text.splitlines() if " self " in line]
+        assert lines, text
+        # hot_phase slept 20 ms; it must rank first.
+        assert "hot_phase" in lines[0]
+        assert "%" in lines[0]
+        percents = [
+            float(line.split("(")[1].split("%")[0]) for line in lines
+        ]
+        assert percents == sorted(percents, reverse=True)
+        assert sum(percents) == pytest.approx(100.0, abs=0.5)
+
+    def test_profile_without_spans_still_renders(self):
+        ins = obs.Instrumentation.enabled()
+        text = format_profile(ins)
+        assert "(no spans recorded)" in text
+        assert "== counters ==" in text

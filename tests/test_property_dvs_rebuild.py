@@ -1,6 +1,5 @@
 """Property-based tests for the DVS post-pass and rebuild interplay."""
 
-import math
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Unit tests for search-and-repair internals (ordering, candidates)."""
 
-import pytest
 
 from repro.arch.acg import ACG
 from repro.arch.topology import Mesh2D

@@ -1,6 +1,5 @@
 """Tests for committed resource tables and the tentative overlay."""
 
-import pytest
 
 from repro.arch.topology import Link
 from repro.schedule.overlay import ResourceTables

@@ -1,6 +1,5 @@
 """Tests for the Schedule container: metrics and the structural validator."""
 
-import math
 
 import pytest
 
@@ -205,3 +204,74 @@ class TestSummary:
     def test_summary_mentions_energy_and_misses(self):
         text = hand_schedule().summary()
         assert "energy" in text and "misses=0" in text
+
+
+class TestUtilizationEdgeCases:
+    """link_utilization() / energy_breakdown() on degenerate schedules."""
+
+    def test_empty_schedule_has_no_usage_and_zero_energy(self):
+        schedule = Schedule(CTG(name="empty"), acg4(), algorithm="none")
+        assert schedule.link_utilization() == {}
+        assert schedule.energy_breakdown() == {
+            "computation": 0.0,
+            "communication": 0.0,
+            "total": 0.0,
+        }
+        assert schedule.makespan() == 0.0
+        assert schedule.average_hops_per_packet() == 0.0
+
+    def test_zero_volume_edge_occupies_links_for_zero_time(self):
+        """A zero-volume transaction on a real route adds 0.0 busy time."""
+        ctg = CTG()
+        ctg.add_task(uniform_task("a", 10, 5))
+        ctg.add_task(uniform_task("b", 20, 8, deadline=1000))
+        ctg.connect("a", "b", volume=0.0)
+        acg = acg4()
+        schedule = Schedule(ctg, acg, algorithm="hand")
+        schedule.place_task(TaskPlacement("a", pe=0, start=0, finish=10, energy=5))
+        route = acg.route(0, 1)
+        schedule.place_comm(
+            CommPlacement("a", "b", 0.0, 0, 1, 10.0, 10.0, route.links, 0.0)
+        )
+        schedule.place_task(TaskPlacement("b", pe=1, start=10, finish=30, energy=8))
+        schedule.validate()
+        usage = schedule.link_utilization()
+        # The links appear (the route was reserved) but carry zero busy time.
+        assert set(usage) == set(route.links)
+        assert all(busy == 0.0 for busy in usage.values())
+        # Zero-volume transfers are excluded from the hops statistic...
+        assert schedule.average_hops_per_packet() == 0.0
+        # ...and contribute nothing to the communication energy term.
+        assert schedule.energy_breakdown()["communication"] == 0.0
+
+    def test_links_never_used_by_xy_routing_are_absent(self):
+        """Only links on the XY route show up; the rest of the mesh does not."""
+        schedule = hand_schedule(a_pe=0, b_pe=1)
+        usage = schedule.link_utilization()
+        route_links = set(schedule.acg.route(0, 1).links)
+        assert set(usage) == route_links
+        all_links = set(schedule.acg.all_links())
+        unused = all_links - route_links
+        assert unused, "a 2x2 mesh has more links than one XY route"
+        assert not (set(usage) & unused)
+        # The reverse direction of a used channel is its own (unused) link.
+        for link in route_links:
+            assert link.reverse not in usage
+
+    def test_local_transactions_never_touch_links(self):
+        schedule = hand_schedule(a_pe=0, b_pe=0)
+        assert schedule.link_utilization() == {}
+        breakdown = schedule.energy_breakdown()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["computation"] + breakdown["communication"]
+        )
+
+    def test_breakdown_components_always_sum(self):
+        schedule = hand_schedule()
+        breakdown = schedule.energy_breakdown()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["computation"] + breakdown["communication"]
+        )
+        assert breakdown["communication"] == pytest.approx(
+            schedule.acg.comm_energy(500, 0, 1)
+        )

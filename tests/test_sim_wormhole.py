@@ -1,6 +1,5 @@
 """Tests for the flit-level wormhole simulator."""
 
-import math
 
 import pytest
 
