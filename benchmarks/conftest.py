@@ -87,9 +87,15 @@ def _telemetry_from_result(result: Any) -> Tuple[Optional[float], Optional[int],
     """(total energy, total misses, per-scheduler extras) from a result.
 
     Understands :class:`~repro.evalx.experiments.ExperimentRow` objects
-    and (nested) lists/tuples of them; anything else records wall time
-    only.  Energy/misses prefer the ``eas`` column when present.
+    and (nested) lists/tuples of them, plus plain dicts (recorded
+    verbatim as ``extra``, with optional ``energy_nJ`` / ``misses`` keys
+    lifted into the headline columns — how ``bench_scaling`` ships its
+    per-size speedup telemetry); anything else records wall time only.
+    Energy/misses prefer the ``eas`` column when present.
     """
+    if isinstance(result, dict):
+        extra = {k: v for k, v in result.items() if k not in ("energy_nJ", "misses")}
+        return result.get("energy_nJ"), result.get("misses"), extra
     rows = list(_iter_rows(result))
     if not rows:
         return None, None, {}

@@ -68,3 +68,13 @@ def mesh_3x3(**kwargs) -> ACG:
 def mesh_2x2(**kwargs) -> ACG:
     """The Tables 1-2 platform: 2x2 heterogeneous mesh, 4 tiles."""
     return hetero_mesh(2, 2, **kwargs)
+
+
+def mesh_5x5(**kwargs) -> ACG:
+    """Beyond-paper scaling platform: 5x5 heterogeneous mesh, 25 tiles."""
+    return hetero_mesh(5, 5, **kwargs)
+
+
+def mesh_6x6(**kwargs) -> ACG:
+    """Beyond-paper scaling platform: 6x6 heterogeneous mesh, 36 tiles."""
+    return hetero_mesh(6, 6, **kwargs)

@@ -22,7 +22,7 @@ from typing import List, Optional
 from repro import obs
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
 from repro.baselines.edf import edf_schedule
-from repro.core.eas import eas_base_schedule, eas_schedule
+from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
 from repro.ctg.generator import generate_category
 from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
 from repro.errors import SchedulingError
@@ -170,8 +170,20 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print a phase-timing + counter summary to stderr",
         )
+        group.add_argument(
+            "--no-eval-cache",
+            action="store_true",
+            help="run EAS with the naive per-iteration F(i,k) recompute "
+            "(the reference path) instead of the incremental evaluation "
+            "cache — for A/B comparisons",
+        )
 
     return parser
+
+
+def _eas_config(args) -> EASConfig:
+    """The EAS knobs the shared CLI flags select."""
+    return EASConfig(use_cache=not getattr(args, "no_eval_cache", False))
 
 
 def _handle_random(args) -> int:
@@ -180,6 +192,7 @@ def _handle_random(args) -> int:
         n_benchmarks=args.benchmarks,
         n_tasks=args.n_tasks,
         progress=lambda msg: print("  ..", msg, file=sys.stderr),
+        eas_config=_eas_config(args),
     )
     print(
         format_table(
@@ -241,9 +254,10 @@ def _build_benchmark(args):
 
 
 def _run_selected_scheduler(args, ctg, acg, report_dvs: bool = True):
+    config = _eas_config(args)
     scheduler = {
-        "eas": eas_schedule,
-        "eas-base": eas_base_schedule,
+        "eas": lambda c, a: eas_schedule(c, a, config),
+        "eas-base": lambda c, a: eas_base_schedule(c, a, config),
         "edf": edf_schedule,
     }[args.algorithm]
     schedule = scheduler(ctg, acg)
@@ -346,7 +360,7 @@ def _handle_compare(args) -> int:
     }[args.system]
     ctg = builder[0](args.clip)
     acg = builder[1]()
-    eas = eas_schedule(ctg, acg)
+    eas = eas_schedule(ctg, acg, _eas_config(args))
     edf = edf_schedule(ctg, acg)
     print(compare_schedules(eas, edf).describe())
     print()
@@ -367,7 +381,7 @@ def _handle_optimal(args) -> int:
     )
     acg = mesh_2x2()
     exact = optimal_schedule(ctg, acg)
-    eas = eas_schedule(ctg, acg)
+    eas = eas_schedule(ctg, acg, _eas_config(args))
     edf = edf_schedule(ctg, acg)
     if not exact.feasible:
         print(f"{ctg.name}: no deadline-feasible mapping exists")

@@ -12,6 +12,16 @@ All reservations go through a :class:`TentativeOverlay`, so the caller
 decides whether this was a what-if evaluation (drop) or the real
 placement (commit) — the paper's "schedule tables ... will be restored
 every time a F(i,k) is calculated".
+
+The overlay additionally records every link table this pass probed
+(``overlay.probed_resources()``) and the reservations it made
+(``overlay.reservations()``).  Together they are the evaluation's
+*resource footprint*: the F(i,k) result is a pure function of the busy
+states of the probed resources, which is what lets the level-based
+scheduler cache evaluations across RTL iterations and invalidate only
+the ones a commit actually dirtied.  Local and zero-volume transfers
+probe nothing (they hold no links), and the fixed-delay ablation skips
+link tables entirely, so its footprint is the destination PE alone.
 """
 
 from __future__ import annotations

@@ -23,13 +23,30 @@ afterwards.  Selection then follows the paper:
 A task with exactly one BD-feasible PE gets ``δE = +inf`` — deferring a
 forced placement risks losing it, so it is treated as maximal regret
 (interpretation decision; see DESIGN.md).
+
+Incremental evaluation
+----------------------
+Naively, Step 2 recomputes every ``F(i,k)`` on every iteration even
+though a commit only mutates one PE table and the links its
+transactions traverse.  The scheduler therefore caches evaluations
+across iterations and, after each commit, evicts only the entries whose
+*resource footprint* (the PE and link tables the evaluation probed,
+reported by :class:`~repro.schedule.overlay.TentativeOverlay`)
+intersects the commit's dirty set — the committed PE plus every link
+the committed transactions reserved.  An untouched footprint means the
+evaluation would recompute to the identical result, so cached and naive
+runs produce byte-identical schedules (see DESIGN.md for the argument
+and ``tests/test_eval_cache.py`` for the randomized equivalence
+harness).  ``EASConfig.use_cache`` keeps the naive path available as
+the reference implementation.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.arch.acg import ACG
@@ -38,7 +55,7 @@ from repro.obs.decisions import Candidate, TaskDecision
 from repro.core.slack import TaskBudget, WeightPolicy, compute_budgets, weight_var_product
 from repro.ctg.graph import CTG
 from repro.errors import SchedulingError
-from repro.schedule.entries import TaskPlacement
+from repro.schedule.entries import CommPlacement, TaskPlacement
 from repro.schedule.overlay import ResourceTables
 from repro.schedule.schedule import Schedule
 from repro.schedule.table import EPS
@@ -62,6 +79,12 @@ class EASConfig:
             introduction criticises; the resulting timing is
             optimistic and its link usage may overlap — only the
             contention ablation should turn this off.
+        use_cache: reuse ``F(i,k)`` evaluations across RTL iterations,
+            invalidating only entries whose resource footprint the last
+            commit dirtied.  Produces schedules identical to the naive
+            path (the reference implementation kept behind
+            ``use_cache=False`` and the CLI's ``--no-eval-cache``) while
+            doing far fewer Fig. 3 evaluations.
     """
 
     weight_policy: WeightPolicy = weight_var_product
@@ -69,11 +92,24 @@ class EASConfig:
     repair: bool = True
     max_repair_rounds: int = 64
     contention_aware: bool = True
+    use_cache: bool = True
 
 
 @dataclass
 class _Evaluation:
-    """One F(i,k) evaluation result."""
+    """One F(i,k) evaluation result, with enough context to replay it.
+
+    ``footprint`` is the set of resources (the candidate PE plus every
+    link table the Fig. 3 pass consulted) the result depends on;
+    ``comms`` / ``reservations`` are the tentative transaction
+    placements and their link reservations, so a commit of a *clean*
+    cached evaluation can skip the recompute entirely.  ``windows`` maps
+    each resource to the busy windows this evaluation was *granted*
+    there (the link reservations plus the task's own slot on the
+    candidate PE): because ``find_gap`` results are monotone under added
+    busy intervals, the evaluation stays exact until some commit
+    reserves a window overlapping one of these.
+    """
 
     task: str
     pe: int
@@ -81,6 +117,35 @@ class _Evaluation:
     finish: float
     drt: float
     energy: float
+    comms: List["CommPlacement"] = field(default_factory=list)
+    reservations: Dict[Hashable, Tuple[Tuple[float, float], ...]] = field(default_factory=dict)
+    footprint: FrozenSet[Hashable] = frozenset()
+    windows: Dict[Hashable, Tuple[Tuple[float, float], ...]] = field(default_factory=dict)
+
+
+def _windows_conflict(
+    a: Mapping[Hashable, Tuple[Tuple[float, float], ...]],
+    b: Mapping[Hashable, Tuple[Tuple[float, float], ...]],
+) -> bool:
+    """Whether two granted-window maps overlap on any shared resource.
+
+    Plain interval overlap (``s < end and start < e``): windows that
+    merely touch endpoints cannot move a ``find_gap`` result, while
+    anything closer — including sub-EPS contact — conservatively
+    counts as a conflict.  Window lists are tiny (one slot per
+    transaction on a link), so the pairwise scan is cheap.
+    """
+    if len(b) < len(a):
+        a, b = b, a
+    for resource, intervals in a.items():
+        others = b.get(resource)
+        if not others:
+            continue
+        for start, end in intervals:
+            for other_start, other_end in others:
+                if other_start < end and start < other_end:
+                    return True
+    return False
 
 
 @dataclass
@@ -104,20 +169,39 @@ class LevelBasedScheduler:
         budgets: Mapping[str, TaskBudget],
         algorithm_name: str = "eas-base",
         contention_aware: bool = True,
+        use_cache: bool = True,
     ) -> None:
         self.ctg = ctg
         self.acg = acg
         self.budgets = budgets
         self.algorithm_name = algorithm_name
         self.contention_aware = contention_aware
+        self.use_cache = use_cache
         self._tables = ResourceTables()
         self._placements: Dict[str, TaskPlacement] = {}
+        #: clean F(i,k) evaluations carried across RTL iterations.
+        self._cache: Dict[Tuple[str, int], _Evaluation] = {}
+        #: per-task feasible PE indices (static: depends on types only).
+        self._feasible_pes: Dict[str, List[int]] = {}
         ins = obs.get()
         self._ins = ins
         self._eval_counter = ins.metrics.counter("eas.evaluations")
         self._restore_counter = ins.metrics.counter("comm.table_restores")
+        self._hit_counter = ins.metrics.counter("eas.cache_hits")
+        self._invalidation_counter = ins.metrics.counter("eas.cache_invalidations")
 
     # -- F(i,k) evaluation --------------------------------------------------
+
+    def _pes_for(self, task_name: str) -> List[int]:
+        """PE indices whose type can run ``task_name`` (static per task)."""
+        pes = self._feasible_pes.get(task_name)
+        if pes is None:
+            task = self.ctg.task(task_name)
+            pes = [
+                pe.index for pe in self.acg.pes if task.cost_on(pe.type_name).feasible
+            ]
+            self._feasible_pes[task_name] = pes
+        return pes
 
     def _evaluate(self, task_name: str, pe_index: int) -> Optional[_Evaluation]:
         """Compute ``F(i,k)``; ``None`` when the PE type is infeasible."""
@@ -137,10 +221,14 @@ class LevelBasedScheduler:
             contention_aware=self.contention_aware,
         )
         start = overlay.find_earliest(pe_index, drt, cost.time)
+        footprint = overlay.probed_resources()
+        reservations = overlay.reservations()
         overlay.drop()  # the paper's table restore
         self._eval_counter.inc()
         self._restore_counter.inc()
         comm_energy = sum(c.energy for c in comms)
+        windows = dict(reservations)
+        windows[pe_index] = ((start, start + cost.time),)
         return _Evaluation(
             task=task_name,
             pe=pe_index,
@@ -148,25 +236,50 @@ class LevelBasedScheduler:
             finish=start + cost.time,
             drt=drt,
             energy=cost.energy + comm_energy,
+            comms=comms,
+            reservations=reservations,
+            footprint=footprint,
+            windows=windows,
         )
 
-    def _commit(self, task_name: str, pe_index: int, schedule: Schedule) -> TaskPlacement:
-        """Re-run the evaluation for the chosen pair and make it permanent."""
+    def _commit(
+        self,
+        task_name: str,
+        pe_index: int,
+        schedule: Schedule,
+        cached: Optional[_Evaluation] = None,
+    ) -> TaskPlacement:
+        """Make the chosen ``(task, PE)`` pair permanent.
+
+        With a *clean* cached evaluation (one whose footprint no commit
+        has dirtied since it was computed — which every evaluation the
+        selection just used is, by construction) the stored transaction
+        placements and link reservations are replayed verbatim;
+        otherwise the evaluation is recomputed, the naive reference
+        behaviour.
+        """
         task = self.ctg.task(task_name)
         pe = self.acg.pe(pe_index)
         cost = task.cost_on(pe.type_name)
-        overlay = self._tables.overlay()
-        drt, comms = schedule_incoming_transactions(
-            self.ctg,
-            self.acg,
-            task_name,
-            pe_index,
-            self._placements,
-            overlay,
-            contention_aware=self.contention_aware,
-        )
-        start = overlay.find_earliest(pe_index, drt, cost.time)
-        overlay.commit()
+        if cached is not None:
+            start = cached.start
+            comms = cached.comms
+            for resource, intervals in cached.reservations.items():
+                for interval_start, interval_end in intervals:
+                    self._tables.reserve(resource, interval_start, interval_end)
+        else:
+            overlay = self._tables.overlay()
+            drt, comms = schedule_incoming_transactions(
+                self.ctg,
+                self.acg,
+                task_name,
+                pe_index,
+                self._placements,
+                overlay,
+                contention_aware=self.contention_aware,
+            )
+            start = overlay.find_earliest(pe_index, drt, cost.time)
+            overlay.commit()
         self._tables.reserve(pe_index, start, start + cost.time)
         placement = TaskPlacement(
             task=task_name,
@@ -180,6 +293,48 @@ class LevelBasedScheduler:
         for comm in comms:
             schedule.place_comm(comm)
         return placement
+
+    # -- cache maintenance --------------------------------------------------
+
+    def _invalidate(self, committed: _Evaluation) -> int:
+        """Evict cache entries whose footprint the commit dirtied.
+
+        A commit mutates exactly (a) the committed PE's table and (b)
+        the link tables its transactions reserved; an evaluation whose
+        probe footprint misses all of them would recompute to the
+        identical result and stays cached.  Within a shared resource the
+        check is refined to *time windows*: ``find_gap`` is monotone
+        under added busy intervals and its result only moves when a new
+        interval overlaps the granted slot, so a commit reserving a
+        shared link at a disjoint time leaves the evaluation exact
+        (sub-EPS boundary contact counts as overlap, conservatively).
+        Entries of the committed task itself are consumed, not
+        invalidated.  Returns the number of dirtied entries.
+        """
+        dirty = committed.windows
+        evicted = 0
+        stale: List[Tuple[str, int]] = []
+        for key, evaluation in self._cache.items():
+            if key[0] == committed.task:
+                stale.append(key)
+            elif not evaluation.footprint.isdisjoint(dirty) and _windows_conflict(
+                dirty, evaluation.windows
+            ):
+                stale.append(key)
+                evicted += 1
+        for key in stale:
+            del self._cache[key]
+        if evicted:
+            self._invalidation_counter.inc(evicted)
+        self._ins.tracer.event(
+            "eval_cache_sweep",
+            task=committed.task,
+            pe=committed.pe,
+            dirty_resources=len(dirty),
+            evicted=evicted,
+            retained=len(self._cache),
+        )
+        return evicted
 
     # -- selection ------------------------------------------------------------
 
@@ -242,25 +397,55 @@ class LevelBasedScheduler:
         record_decisions = ins.decisions.enabled
         decided: List[TaskDecision] = []
 
+        use_cache = self.use_cache
+        cache = self._cache
+        total_hits = 0
+        total_invalidations = 0
+
         with ins.tracer.span(
             "level_schedule",
             algorithm=self.algorithm_name,
             ctg=self.ctg.name,
             tasks=self.ctg.n_tasks,
             pes=len(self.acg.pes),
-        ):
+            eval_cache=use_cache,
+        ) as level_span:
             while ready:
                 evaluations: Dict[str, Dict[int, _Evaluation]] = {}
-                for task_name in ready:
-                    per_pe: Dict[int, _Evaluation] = {}
-                    for pe in self.acg.pes:
-                        evaluation = self._evaluate(task_name, pe.index)
-                        if evaluation is not None:
-                            per_pe[pe.index] = evaluation
-                    evaluations[task_name] = per_pe
+                with ins.tracer.span("evaluate_rtl", ready=len(ready)) as rtl_span:
+                    hits = fresh = 0
+                    for task_name in ready:
+                        per_pe: Dict[int, _Evaluation] = {}
+                        for pe_index in self._pes_for(task_name):
+                            key = (task_name, pe_index)
+                            evaluation = cache.get(key) if use_cache else None
+                            if evaluation is None:
+                                evaluation = self._evaluate(task_name, pe_index)
+                                if evaluation is None:
+                                    continue
+                                fresh += 1
+                                if use_cache:
+                                    cache[key] = evaluation
+                            else:
+                                hits += 1
+                            per_pe[pe_index] = evaluation
+                        evaluations[task_name] = per_pe
+                    if hits:
+                        self._hit_counter.inc(hits)
+                        total_hits += hits
+                    rtl_span.set_attribute("cache_hits", hits)
+                    rtl_span.set_attribute("evaluations", fresh)
 
                 chosen_task, chosen_pe, outcome = self._select(evaluations)
-                placement = self._commit(chosen_task, chosen_pe, schedule)
+                chosen_eval = evaluations[chosen_task][chosen_pe]
+                placement = self._commit(
+                    chosen_task,
+                    chosen_pe,
+                    schedule,
+                    cached=chosen_eval if use_cache else None,
+                )
+                if use_cache:
+                    total_invalidations += self._invalidate(chosen_eval)
                 commit_counter.inc()
                 if outcome.rescue:
                     rescue_counter.inc()
@@ -283,12 +468,16 @@ class LevelBasedScheduler:
                     ins.decisions.record(decision)
                     decided.append(decision)
 
-                ready.remove(chosen_task)
+                # `ready` is kept sorted: delete by binary search, insert
+                # newly ready successors in order (no per-iteration sort).
+                del ready[bisect_left(ready, chosen_task)]
                 for succ in self.ctg.successors(chosen_task):
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0:
-                        ready.append(succ)
-                ready.sort()
+                        insort(ready, succ)
+
+            level_span.set_attribute("cache_hits", total_hits)
+            level_span.set_attribute("cache_invalidations", total_invalidations)
 
         if len(self._placements) != self.ctg.n_tasks:
             raise SchedulingError(
@@ -322,6 +511,7 @@ def eas_base_schedule(
             budgets,
             algorithm_name="eas-base" if cfg.contention_aware else "eas-base-nocontention",
             contention_aware=cfg.contention_aware,
+            use_cache=cfg.use_cache,
         ).run()
     schedule.runtime_seconds = timing.seconds
     return schedule

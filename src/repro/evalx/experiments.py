@@ -30,7 +30,7 @@ from repro import obs
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
 from repro.baselines.edf import edf_schedule
-from repro.core.eas import eas_base_schedule, eas_schedule
+from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
 from repro.core.repair import search_and_repair
 from repro.ctg.generator import generate_category
 from repro.ctg.graph import CTG
@@ -86,11 +86,14 @@ def run_random_category(
     n_tasks: Optional[int] = None,
     schedulers: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    eas_config: Optional[EASConfig] = None,
 ) -> List[ExperimentRow]:
     """The Sec. 6.1 experiment for one category of random benchmarks.
 
     Compares ``eas-base`` (no repair), ``eas`` (with repair) and ``edf``
     on a 4x4 heterogeneous mesh, exactly the paper's setup.
+    ``eas_config`` overrides the EAS knobs (e.g. ``use_cache=False`` for
+    the ``--no-eval-cache`` A/B).
     """
     n_tasks = n_tasks if n_tasks is not None else default_n_tasks()
     wanted = tuple(schedulers) if schedulers else ("eas-base", "eas", "edf")
@@ -98,7 +101,7 @@ def run_random_category(
     for index in range(n_benchmarks):
         ctg = generate_category(category, index, n_tasks=n_tasks)
         acg = mesh_4x4(shuffle_seed=100 + index)
-        row = _compare(ctg, acg, wanted)
+        row = _compare(ctg, acg, wanted, eas_config=eas_config)
         rows.append(row)
         if progress is not None:
             progress(f"cat{category} benchmark {index}: " + _row_brief(row))
@@ -235,11 +238,13 @@ def run_repair_runtime(
 # -- shared helpers -------------------------------------------------------------------
 
 
-def _run_scheduler(name: str, ctg: CTG, acg: ACG) -> Schedule:
+def _run_scheduler(
+    name: str, ctg: CTG, acg: ACG, eas_config: Optional[EASConfig] = None
+) -> Schedule:
     if name == "eas":
-        return eas_schedule(ctg, acg)
+        return eas_schedule(ctg, acg, eas_config)
     if name == "eas-base":
-        return eas_base_schedule(ctg, acg)
+        return eas_base_schedule(ctg, acg, eas_config)
     if name == "edf":
         return edf_schedule(ctg, acg)
     raise ValueError(f"unknown scheduler {name!r}")
@@ -250,6 +255,7 @@ def _compare(
     acg: ACG,
     schedulers: Tuple[str, ...],
     benchmark_name: Optional[str] = None,
+    eas_config: Optional[EASConfig] = None,
 ) -> ExperimentRow:
     registry = obs.get().metrics
     energies: Dict[str, float] = {}
@@ -259,7 +265,7 @@ def _compare(
     metrics: Dict[str, float] = {}
     for name in schedulers:
         before = registry.counter_values()
-        schedule = _run_scheduler(name, ctg, acg)
+        schedule = _run_scheduler(name, ctg, acg, eas_config=eas_config)
         schedule.validate_structure()
         energies[name] = schedule.total_energy()
         misses[name] = len(schedule.deadline_misses())
@@ -290,7 +296,9 @@ def _headline_metrics(
     """Per-run counter deltas condensed to the reporting columns.
 
     ``<scheduler>:evals`` sums every ``*.evaluations`` counter the run
-    incremented; ``<scheduler>:moves`` sums accepted repair moves.
+    incremented; ``<scheduler>:moves`` sums accepted repair moves;
+    ``<scheduler>:hits`` is the evaluation-cache hit count (0 for the
+    naive path and non-EAS schedulers).
     """
     delta = {key: after[key] - before.get(key, 0.0) for key in after}
     return {
@@ -299,6 +307,7 @@ def _headline_metrics(
         ),
         f"{scheduler}:moves": delta.get("repair.lts_moves", 0.0)
         + delta.get("repair.gtm_moves", 0.0),
+        f"{scheduler}:hits": delta.get("eas.cache_hits", 0.0),
     }
 
 

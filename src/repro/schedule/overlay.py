@@ -11,7 +11,7 @@ tentative reservations in a small per-evaluation overlay.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.schedule.table import Interval, ScheduleTable, find_gap, merge_busy
 
@@ -67,11 +67,19 @@ class TentativeOverlay:
     the overlay (transaction n+1 must see transaction n's tentative link
     occupancy) but never touch the committed tables; dropping the overlay
     is the paper's "restore".
+
+    The overlay also records every resource whose committed busy state a
+    query consulted (its *probe footprint*).  An F(i,k) evaluation's
+    result is a pure function of the busy states it probed, so a later
+    commit can only change the result if it reserves one of the probed
+    resources — the invariant the incremental evaluation cache in
+    :mod:`repro.core.eas` invalidates on.
     """
 
     def __init__(self, base: ResourceTables) -> None:
         self._base = base
         self._extra: Dict[Hashable, List[Interval]] = {}
+        self._probed: Set[Hashable] = set()
 
     def _combined(self, resource: Hashable) -> List[Interval]:
         extra = self._extra.get(resource)
@@ -81,6 +89,7 @@ class TentativeOverlay:
         return merge_busy([base, sorted(extra)])
 
     def find_earliest(self, resource: Hashable, ready: float, duration: float) -> float:
+        self._probed.add(resource)
         return find_gap(self._combined(resource), ready, duration)
 
     def find_earliest_on_path(
@@ -93,6 +102,7 @@ class TentativeOverlay:
         """
         if not resources:
             return ready
+        self._probed.update(resources)
         merged = merge_busy([self._combined(r) for r in resources])
         return find_gap(merged, ready, duration)
 
@@ -104,6 +114,22 @@ class TentativeOverlay:
     def reserve_on_path(self, resources: Iterable[Hashable], start: float, end: float) -> None:
         for resource in resources:
             self.reserve(resource, start, end)
+
+    def probed_resources(self) -> FrozenSet[Hashable]:
+        """Every resource whose busy state a query on this overlay read.
+
+        This is the evaluation's *resource footprint*: its result can
+        only change when one of these resources gains a reservation.
+        """
+        return frozenset(self._probed)
+
+    def reservations(self) -> Dict[Hashable, Tuple[Interval, ...]]:
+        """Snapshot of the tentative reservations, keyed by resource.
+
+        The snapshot survives :meth:`drop`, so a cached evaluation can
+        replay exactly the reservations :meth:`commit` would have made.
+        """
+        return {resource: tuple(intervals) for resource, intervals in self._extra.items()}
 
     def commit(self) -> None:
         """Apply all tentative reservations to the committed tables."""

@@ -14,7 +14,7 @@ transfers occupy nothing).
 from __future__ import annotations
 
 import math
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import SchedulingError
@@ -85,13 +85,18 @@ class ScheduleTable:
         insort(self._busy, (start, end))
 
     def release(self, start: float, end: float) -> None:
-        """Remove a previously made reservation (exact match required)."""
+        """Remove a previously made reservation (exact match required).
+
+        The busy list is sorted, so the lookup is a binary search
+        (repair's LTS/GTM passes release in a loop; a linear scan here
+        compounds to quadratic time on large tables).
+        """
         if end - start <= EPS:
             return
-        try:
-            idx = self._busy.index((start, end))
-        except ValueError:
-            raise SchedulingError(f"no reservation [{start}, {end}) to release") from None
+        target = (float(start), float(end))
+        idx = bisect_left(self._busy, target)
+        if idx == len(self._busy) or self._busy[idx] != target:
+            raise SchedulingError(f"no reservation [{start}, {end}) to release")
         del self._busy[idx]
 
     def copy(self) -> "ScheduleTable":

@@ -191,3 +191,35 @@ class TestDriver:
         budgets = compute_budgets(chain_ctg, acg4())
         schedule = LevelBasedScheduler(chain_ctg, acg4(), budgets).run()
         assert schedule.is_complete
+
+
+class TestEvaluationCache:
+    def test_naive_and_cached_agree(self, diamond_ctg):
+        cached = eas_schedule(diamond_ctg, acg4(), EASConfig(use_cache=True))
+        naive = eas_schedule(diamond_ctg, acg4(), EASConfig(use_cache=False))
+        assert cached.task_placements == naive.task_placements
+        assert cached.comm_placements == naive.comm_placements
+
+    def test_naive_path_never_touches_cache(self, diamond_ctg):
+        from repro import obs
+
+        ins = obs.Instrumentation.enabled()
+        with obs.activate(ins):
+            eas_base_schedule(diamond_ctg, acg4(), EASConfig(use_cache=False))
+        assert ins.metrics.counter("eas.cache_hits").value == 0
+        assert ins.metrics.counter("eas.cache_invalidations").value == 0
+        assert ins.metrics.counter("eas.evaluations").value > 0
+
+    def test_cache_counters_recorded(self):
+        from repro import obs
+        from repro.ctg.generator import generate_category
+
+        ctg = generate_category(1, 0, n_tasks=30)
+        ins = obs.Instrumentation.enabled()
+        with obs.activate(ins):
+            eas_base_schedule(ctg, acg4())
+        assert ins.metrics.counter("eas.cache_hits").value > 0
+        # The level_schedule span carries the per-run cache summary.
+        spans = [s for s in ins.tracer.spans if s.name == "level_schedule"]
+        assert spans and spans[0].attrs["eval_cache"] is True
+        assert spans[0].attrs["cache_hits"] == ins.metrics.counter("eas.cache_hits").value

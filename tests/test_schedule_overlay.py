@@ -105,3 +105,52 @@ class TestTentativeOverlay:
         overlay.reserve("r", 5, 5)
         overlay.commit()
         assert tables.busy("r") == []
+
+
+class TestProbeFootprint:
+    def test_queries_record_probes(self):
+        tables = ResourceTables()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        overlay = tables.overlay()
+        assert overlay.probed_resources() == frozenset()
+        overlay.find_earliest(3, 0, 5)
+        overlay.find_earliest_on_path([a, b], 0, 5)
+        assert overlay.probed_resources() == frozenset({3, a, b})
+
+    def test_empty_path_probes_nothing(self):
+        overlay = ResourceTables().overlay()
+        overlay.find_earliest_on_path([], 0, 5)
+        assert overlay.probed_resources() == frozenset()
+
+    def test_reserve_alone_is_not_a_probe(self):
+        # Footprints track *reads*; schedule_incoming_transactions always
+        # probes a path before reserving it, and reservations are
+        # captured separately via reservations().
+        overlay = ResourceTables().overlay()
+        overlay.reserve("r", 0, 10)
+        assert overlay.probed_resources() == frozenset()
+
+    def test_reservations_snapshot_survives_drop(self):
+        tables = ResourceTables()
+        a = Link((0, 0), (0, 1))
+        overlay = tables.overlay()
+        overlay.reserve_on_path([a], 0, 10)
+        overlay.reserve(a, 20, 30)
+        snapshot = overlay.reservations()
+        overlay.drop()
+        assert snapshot == {a: ((0, 10), (20, 30))}
+        assert overlay.reservations() == {}
+        # Replaying the snapshot reproduces exactly what commit() would
+        # have written.
+        for resource, intervals in snapshot.items():
+            for start, end in intervals:
+                tables.reserve(resource, start, end)
+        assert tables.busy(a) == [(0, 10), (20, 30)]
+
+    def test_probes_persist_across_drop(self):
+        # drop() restores the tables but the footprint describes the
+        # whole evaluation, so it must survive the restore.
+        overlay = ResourceTables().overlay()
+        overlay.find_earliest("r", 0, 5)
+        overlay.drop()
+        assert overlay.probed_resources() == frozenset({"r"})

@@ -61,6 +61,28 @@ class TestRelease:
         table.reserve(12, 18)
         assert table.intervals() == [(12, 18)]
 
+    def test_release_first_middle_last(self):
+        # The bisect lookup must find matches anywhere in the list.
+        table = ScheduleTable([(0, 5), (10, 20), (30, 40), (50, 60)])
+        table.release(30, 40)
+        table.release(0, 5)
+        table.release(50, 60)
+        assert table.intervals() == [(10, 20)]
+
+    def test_release_same_start_different_end_raises(self):
+        # (10, 15) sorts before (10, 20): the exact-match check must not
+        # accept a neighbouring interval that merely shares the start.
+        table = ScheduleTable([(10, 20)])
+        with pytest.raises(SchedulingError):
+            table.release(10, 15)
+        assert table.intervals() == [(10, 20)]
+
+    def test_release_int_float_equivalence(self):
+        table = ScheduleTable()
+        table.reserve(10, 20)
+        table.release(10.0, 20.0)
+        assert table.intervals() == []
+
 
 class TestIsFree:
     def test_free_before_and_after(self):
