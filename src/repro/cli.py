@@ -156,6 +156,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-tasks", type=int, default=100)
     p.set_defaults(handler=_handle_export_ctg)
 
+    # Parallel execution, on the subcommands that run whole grids (the
+    # evalx figures/tables) or repair portfolios (schedule).
+    for name in ("fig5", "fig6", "table1", "table2", "table3", "schedule"):
+        group = sub.choices[name].add_argument_group("parallel execution")
+        group.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes (default: REPRO_JOBS env, else 1 = serial "
+            "reference path; negative = all CPUs)",
+        )
+    sub.choices["schedule"].add_argument(
+        "--repair-starts",
+        type=int,
+        default=1,
+        metavar="K",
+        help="multi-start repair portfolio: K seeded LTS/GTM orderings "
+        "(start 0 is the paper-literal ordering), best feasible lowest-energy "
+        "schedule wins; runs across --jobs workers (eas/eas-base only)",
+    )
+
     # Observability flags, available on every subcommand.
     for subparser in sub.choices.values():
         group = subparser.add_argument_group("observability")
@@ -193,6 +215,7 @@ def _handle_random(args) -> int:
         n_tasks=args.n_tasks,
         progress=lambda msg: print("  ..", msg, file=sys.stderr),
         eas_config=_eas_config(args),
+        jobs=args.jobs,
     )
     print(
         format_table(
@@ -205,7 +228,7 @@ def _handle_random(args) -> int:
 
 
 def _handle_msb(args) -> int:
-    rows = run_msb_table(args.system)
+    rows = run_msb_table(args.system, jobs=args.jobs)
     print(
         format_table(
             rows,
@@ -255,12 +278,26 @@ def _build_benchmark(args):
 
 def _run_selected_scheduler(args, ctg, acg, report_dvs: bool = True):
     config = _eas_config(args)
-    scheduler = {
-        "eas": lambda c, a: eas_schedule(c, a, config),
-        "eas-base": lambda c, a: eas_base_schedule(c, a, config),
-        "edf": edf_schedule,
-    }[args.algorithm]
-    schedule = scheduler(ctg, acg)
+    repair_starts = getattr(args, "repair_starts", 1)
+    if repair_starts > 1 and args.algorithm in ("eas", "eas-base"):
+        # Multi-start portfolio: level-schedule once, then race K seeded
+        # LTS/GTM repair orderings (in parallel under --jobs) and keep
+        # the best feasible, lowest-energy result.
+        from repro.core.repair import multistart_search_and_repair
+
+        schedule = eas_base_schedule(ctg, acg, config)
+        schedule, portfolio = multistart_search_and_repair(
+            schedule, starts=repair_starts, jobs=getattr(args, "jobs", None)
+        )
+        schedule.algorithm = args.algorithm
+        print(portfolio.describe(), file=sys.stderr)
+    else:
+        scheduler = {
+            "eas": lambda c, a: eas_schedule(c, a, config),
+            "eas-base": lambda c, a: eas_base_schedule(c, a, config),
+            "edf": edf_schedule,
+        }[args.algorithm]
+        schedule = scheduler(ctg, acg)
     if args.dvs:
         from repro.core.dvs import apply_dvs
 

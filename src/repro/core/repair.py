@@ -22,8 +22,9 @@ the procedure converge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
@@ -41,6 +42,11 @@ class RepairConfig:
     max_rounds: int = 64
     #: maximum GTM migrations attempted per round before giving up.
     max_migrations_per_round: int = 256
+    #: ``None`` keeps the paper-literal deterministic move orderings;
+    #: an integer seeds a private RNG that *jitters* the criticality and
+    #: destination rankings — the diversification knob the multi-start
+    #: portfolio uses.  Never reads global ``random`` state.
+    seed: Optional[int] = None
 
 
 @dataclass
@@ -107,6 +113,7 @@ def search_and_repair(
 
     mapping = dict(current.mapping())
     orders = {pe: list(tasks) for pe, tasks in current.pe_order().items()}
+    rng = random.Random(cfg.seed) if cfg.seed is not None else None
 
     ins = obs.get()
     round_counter = ins.metrics.counter("repair.rounds")
@@ -117,12 +124,12 @@ def search_and_repair(
             report.rounds += 1
             round_counter.inc()
             current, mapping, orders, metric, lts_improved = _lts_pass(
-                current, mapping, orders, metric, report
+                current, mapping, orders, metric, report, rng
             )
             if metric[0] == 0:
                 break
             current, mapping, orders, metric, gtm_improved = _gtm_pass(
-                current, mapping, orders, metric, report, cfg
+                current, mapping, orders, metric, report, cfg, rng
             )
             if not lts_improved and not gtm_improved:
                 break  # fixed point: no move helps
@@ -134,6 +141,189 @@ def search_and_repair(
     return current, report
 
 
+# -- multi-start portfolio ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StartOutcome:
+    """How one seeded start of the portfolio ended."""
+
+    start: int
+    seed: Optional[int]
+    misses: int
+    tardiness: float
+    energy: float
+    report: RepairReport
+
+    @property
+    def feasible(self) -> bool:
+        return self.misses == 0
+
+
+@dataclass
+class PortfolioReport:
+    """Outcome of :func:`multistart_search_and_repair` across all starts."""
+
+    outcomes: List[StartOutcome] = field(default_factory=list)
+    winner: int = 0
+    jobs: int = 1
+
+    @property
+    def winner_outcome(self) -> StartOutcome:
+        return self.outcomes[self.winner]
+
+    @property
+    def winner_report(self) -> RepairReport:
+        return self.winner_outcome.report
+
+    def describe(self) -> str:
+        w = self.winner_outcome
+        seed = "paper-order" if w.seed is None else f"seed {w.seed}"
+        return (
+            f"repair portfolio: {len(self.outcomes)} start(s) x {self.jobs} job(s), "
+            f"winner start {w.start} ({seed}): misses "
+            f"{w.report.initial_misses}->{w.misses}, energy {w.energy:.6g} nJ"
+        )
+
+
+@dataclass(frozen=True)
+class _StartPayload:
+    """Picklable description of one portfolio start (shared-nothing)."""
+
+    ctg: object
+    acg: object
+    mapping: Dict[str, int]
+    orders: Dict[int, List[str]]
+    algorithm: str
+    config: RepairConfig
+    start: int
+
+
+def _portfolio_start(payload: "_StartPayload") -> Dict[str, object]:
+    """Worker entry: rebuild the base schedule, repair it, ship the outcome.
+
+    Runs inside a fresh disabled bundle so worker-side counters never
+    race the parent registry; the registry travels home in the result
+    and is merged by the parent in start order.
+    """
+    bundle = obs.Instrumentation.disabled()
+    with obs.activate(bundle):
+        schedule = rebuild_schedule(
+            payload.ctg, payload.acg, payload.mapping, payload.orders,
+            algorithm=payload.algorithm,
+        )
+        repaired, report = search_and_repair(schedule, payload.config)
+        metric = miss_metric(repaired)
+    return {
+        "start": payload.start,
+        "seed": payload.config.seed,
+        "mapping": repaired.mapping(),
+        "orders": repaired.pe_order(),
+        "misses": metric[0],
+        "tardiness": metric[1],
+        "energy": repaired.total_energy(),
+        "report": report,
+        "metrics": bundle.metrics,
+    }
+
+
+def multistart_search_and_repair(
+    schedule: Schedule,
+    starts: int = 4,
+    jobs: Optional[int] = None,
+    config: Optional[RepairConfig] = None,
+    base_seed: int = 0,
+) -> Tuple[Schedule, PortfolioReport]:
+    """Run ``starts`` seeded repair portfolios and keep the best schedule.
+
+    Start 0 always uses the paper-literal deterministic orderings
+    (``seed=None``), so the portfolio can never do worse than plain
+    :func:`search_and_repair`; starts ``k >= 1`` jitter the criticality
+    and destination rankings with seed ``base_seed + k``.  ``jobs`` > 1
+    fans the starts out over the shared-nothing process pool.  The
+    winner is the first deadline-feasible, lowest-energy schedule
+    (ties: fewer misses, lower tardiness, lower start index — fully
+    deterministic for fixed seeds regardless of worker count).
+    """
+    from repro.parallel.pool import pool_map, resolve_jobs
+
+    cfg = config or RepairConfig()
+    if starts < 1:
+        raise ValueError(f"starts must be >= 1, got {starts}")
+    if not schedule.deadline_misses():
+        # Nothing to repair: the portfolio is a no-op, as search_and_repair is.
+        report = RepairReport()
+        report.initial_energy = report.final_energy = schedule.total_energy()
+        outcome = StartOutcome(
+            start=0, seed=None, misses=0, tardiness=0.0,
+            energy=schedule.total_energy(), report=report,
+        )
+        return schedule, PortfolioReport(outcomes=[outcome], winner=0, jobs=1)
+
+    mapping = dict(schedule.mapping())
+    orders = {pe: list(tasks) for pe, tasks in schedule.pe_order().items()}
+    payloads = [
+        _StartPayload(
+            ctg=schedule.ctg,
+            acg=schedule.acg,
+            mapping=mapping,
+            orders=orders,
+            algorithm=schedule.algorithm,
+            config=replace(cfg, seed=None if k == 0 else base_seed + k),
+            start=k,
+        )
+        for k in range(starts)
+    ]
+    jobs = resolve_jobs(jobs)
+    ins = obs.get()
+    ins.metrics.counter("repair.portfolio_starts").inc(starts)
+    raw = pool_map(
+        _portfolio_start,
+        payloads,
+        jobs=jobs,
+        label="repair_portfolio",
+        finalize=lambda result: ins.metrics.merge(result["metrics"]),
+    )
+
+    outcomes = [
+        StartOutcome(
+            start=result["start"],
+            seed=result["seed"],
+            misses=result["misses"],
+            tardiness=result["tardiness"],
+            energy=result["energy"],
+            report=result["report"],
+        )
+        for result in raw
+    ]
+    winner = min(
+        range(len(outcomes)),
+        key=lambda i: (
+            outcomes[i].misses,
+            outcomes[i].tardiness,
+            outcomes[i].energy,
+            outcomes[i].start,
+        ),
+    )
+    portfolio = PortfolioReport(outcomes=outcomes, winner=winner, jobs=jobs)
+    ins.tracer.event(
+        "repair.portfolio_winner",
+        start=outcomes[winner].start,
+        misses=outcomes[winner].misses,
+        energy=outcomes[winner].energy,
+    )
+    # Rebuild the winner locally: rebuild is deterministic in
+    # (mapping, orders), so the parent-side schedule is exactly the
+    # worker's, whatever process produced it.
+    best = rebuild_schedule(
+        schedule.ctg, schedule.acg,
+        raw[winner]["mapping"], raw[winner]["orders"],
+        algorithm=schedule.algorithm,
+    )
+    best.runtime_seconds = schedule.runtime_seconds
+    return best, portfolio
+
+
 # -- local task swapping -------------------------------------------------------
 
 
@@ -143,6 +333,7 @@ def _lts_pass(
     orders: Dict[int, List[str]],
     metric: MissMetric,
     report: RepairReport,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
     """One LTS sweep: try to pull every critical task earlier on its PE."""
     improved_any = False
@@ -150,7 +341,7 @@ def _lts_pass(
     while progress and metric[0] > 0:
         progress = False
         critical = critical_tasks(schedule)
-        for task in _criticality_order(schedule, critical):
+        for task in _jittered(_criticality_order(schedule, critical), rng):
             pe = mapping[task]
             order = orders[pe]
             idx = order.index(task)
@@ -204,6 +395,7 @@ def _gtm_pass(
     metric: MissMetric,
     report: RepairReport,
     cfg: RepairConfig,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
     """Attempt one accepted migration (Fig. 4 returns to LTS after it).
 
@@ -220,12 +412,12 @@ def _gtm_pass(
        that usually causes the miss (our addition; the paper does not
        specify behaviour when the energy-ordered search fails).
     """
-    critical = _criticality_order(schedule, critical_tasks(schedule))
+    critical = _jittered(_criticality_order(schedule, critical_tasks(schedule)), rng)
 
     energy_sweep = (
         (task, dest_pe)
         for task in critical
-        for dest_pe in _destinations_by_energy(schedule, task, mapping)
+        for dest_pe in _jittered(_destinations_by_energy(schedule, task, mapping), rng)
     )
     result = _try_migrations(
         schedule, mapping, orders, metric, report, cfg, energy_sweep
@@ -348,6 +540,21 @@ def _insert_by_start(order: List[str], task: str, schedule: Schedule) -> None:
             order.insert(i, task)
             return
     order.append(task)
+
+
+def _jittered(ranked: Sequence, rng: Optional[random.Random]) -> List:
+    """A lightly shaken copy of a ranked list (identity when ``rng`` is None).
+
+    Each element's rank gets a uniform [0, 2) bump before re-sorting, so
+    neighbours may swap but the heuristic's head stays near the front —
+    enough diversification for a multi-start portfolio without degrading
+    any single start into a random walk.
+    """
+    ranked = list(ranked)
+    if rng is None or len(ranked) < 2:
+        return ranked
+    keys = [index + rng.uniform(0.0, 2.0) for index in range(len(ranked))]
+    return [ranked[index] for index in sorted(range(len(ranked)), key=keys.__getitem__)]
 
 
 def _criticality_order(schedule: Schedule, critical: Set[str]) -> List[str]:

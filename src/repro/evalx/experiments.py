@@ -29,13 +29,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import obs
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
-from repro.baselines.edf import edf_schedule
-from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
+from repro.core.eas import EASConfig, eas_base_schedule
 from repro.core.repair import search_and_repair
 from repro.ctg.generator import generate_category
 from repro.ctg.graph import CTG
 from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
 from repro.obs.utilization import analyze_schedule
+from repro.parallel.pool import parallel_map, resolve_jobs
+from repro.parallel.spec import BenchmarkSpec, RunResult, RunSpec, run_scheduler
 from repro.schedule.schedule import Schedule
 
 #: Number of random benchmarks per category, as in the paper.
@@ -87,16 +88,44 @@ def run_random_category(
     schedulers: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     eas_config: Optional[EASConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """The Sec. 6.1 experiment for one category of random benchmarks.
 
     Compares ``eas-base`` (no repair), ``eas`` (with repair) and ``edf``
     on a 4x4 heterogeneous mesh, exactly the paper's setup.
     ``eas_config`` overrides the EAS knobs (e.g. ``use_cache=False`` for
-    the ``--no-eval-cache`` A/B).
+    the ``--no-eval-cache`` A/B).  ``jobs`` > 1 fans the
+    (benchmark x scheduler) grid out over a process pool
+    (``None``/``0`` defers to ``REPRO_JOBS``; 1 keeps the serial
+    reference path); rows come back in grid order with identical
+    contents either way.
     """
     n_tasks = n_tasks if n_tasks is not None else default_n_tasks()
     wanted = tuple(schedulers) if schedulers else ("eas-base", "eas", "edf")
+    if resolve_jobs(jobs) > 1:
+        specs = [
+            RunSpec(
+                scheduler=name,
+                benchmark=BenchmarkSpec(
+                    kind="random",
+                    category=category,
+                    index=index,
+                    n_tasks=n_tasks,
+                    acg_preset="mesh_4x4",
+                    shuffle_seed=100 + index,
+                ),
+                eas_config=eas_config,
+                tag=f"cat{category}[{index}]:{name}",
+            )
+            for index in range(n_benchmarks)
+            for name in wanted
+        ]
+        rows = _rows_from_results(parallel_map(specs, jobs=jobs), wanted)
+        if progress is not None:
+            for index, row in enumerate(rows):
+                progress(f"cat{category} benchmark {index}: " + _row_brief(row))
+        return rows
     rows: List[ExperimentRow] = []
     for index in range(n_benchmarks):
         ctg = generate_category(category, index, n_tasks=n_tasks)
@@ -127,10 +156,15 @@ _MSB_BUILDERS: Dict[str, Tuple[Callable[[str], CTG], Callable[[], ACG]]] = {
 }
 
 
+#: MSB system -> ACG preset name, for the pooled (picklable) spec path.
+_MSB_ACG_PRESETS = {"encoder": "mesh_2x2", "decoder": "mesh_2x2", "integrated": "mesh_3x3"}
+
+
 def run_msb_table(
     system: str,
     clips: Sequence[str] = CLIP_NAMES,
     schedulers: Sequence[str] = ("eas", "edf"),
+    jobs: Optional[int] = None,
 ) -> List[ExperimentRow]:
     """Tables 1-3: one row per clip for the chosen multimedia system.
 
@@ -138,16 +172,37 @@ def run_msb_table(
     (Table 2, 16 tasks, 2x2) or ``"integrated"`` (Table 3, 40 tasks,
     3x3).  Rows carry the computation/communication split and average
     hops per packet, reproducing the Sec. 6.2 textual statistics.
+    ``jobs`` > 1 pools the (clip x scheduler) grid; 1 (the default
+    resolution) is the serial reference path.
     """
     try:
         build_ctg, build_acg = _MSB_BUILDERS[system]
     except KeyError:
         raise ValueError(f"unknown MSB system {system!r}; known: {sorted(_MSB_BUILDERS)}") from None
+    wanted = tuple(schedulers)
+    if resolve_jobs(jobs) > 1:
+        specs = [
+            RunSpec(
+                scheduler=name,
+                benchmark=BenchmarkSpec(
+                    kind="msb",
+                    system=system,
+                    clip=clip,
+                    acg_preset=_MSB_ACG_PRESETS[system],
+                ),
+                tag=f"{system}[{clip}]:{name}",
+            )
+            for clip in clips
+            for name in wanted
+        ]
+        return _rows_from_results(
+            parallel_map(specs, jobs=jobs), wanted, row_names=list(clips)
+        )
     rows = []
     for clip in clips:
         ctg = build_ctg(clip)
         acg = build_acg()
-        row = _compare(ctg, acg, tuple(schedulers), benchmark_name=clip)
+        row = _compare(ctg, acg, wanted, benchmark_name=clip)
         rows.append(row)
     return rows
 
@@ -241,13 +296,64 @@ def run_repair_runtime(
 def _run_scheduler(
     name: str, ctg: CTG, acg: ACG, eas_config: Optional[EASConfig] = None
 ) -> Schedule:
-    if name == "eas":
-        return eas_schedule(ctg, acg, eas_config)
-    if name == "eas-base":
-        return eas_base_schedule(ctg, acg, eas_config)
-    if name == "edf":
-        return edf_schedule(ctg, acg)
-    raise ValueError(f"unknown scheduler {name!r}")
+    return run_scheduler(name, ctg, acg, eas_config)
+
+
+def _rows_from_results(
+    results: Sequence[RunResult],
+    schedulers: Tuple[str, ...],
+    row_names: Optional[Sequence[str]] = None,
+) -> List[ExperimentRow]:
+    """Reassemble pooled per-cell results into serial-identical rows.
+
+    ``results`` is the flat grid in (benchmark-major, scheduler-minor)
+    spec order; every group of ``len(schedulers)`` cells becomes one
+    :class:`ExperimentRow` with the same dict key order, rounding and
+    metric columns the serial ``_compare`` produces.  ``row_names``
+    overrides the benchmark label per row (the MSB tables label rows by
+    clip, not by CTG name).
+    """
+    width = len(schedulers)
+    if width == 0 or len(results) % width:
+        raise ValueError(
+            f"result grid of {len(results)} cells does not tile {width} schedulers"
+        )
+    rows: List[ExperimentRow] = []
+    for start in range(0, len(results), width):
+        cells = results[start : start + width]
+        energies: Dict[str, float] = {}
+        misses: Dict[str, int] = {}
+        runtimes: Dict[str, float] = {}
+        extras: Dict[str, float] = {}
+        metrics: Dict[str, float] = {}
+        for name, cell in zip(schedulers, cells):
+            if cell.scheduler != name:
+                raise ValueError(
+                    f"grid cell {cell.tag!r} is {cell.scheduler!r}, expected {name!r}"
+                )
+            energies[name] = cell.energy
+            misses[name] = cell.misses
+            runtimes[name] = cell.runtime_seconds
+            extras[f"{name}:comp"] = cell.comp_energy
+            extras[f"{name}:comm"] = cell.comm_energy
+            extras[f"{name}:hops"] = cell.hops
+            metrics.update(_headline_metrics(name, {}, cell.headline_counters))
+            metrics[f"{name}:peakpe"] = cell.peakpe
+            metrics[f"{name}:cwait"] = cell.cwait
+        benchmark = cells[0].benchmark
+        if row_names is not None:
+            benchmark = row_names[start // width]
+        rows.append(
+            ExperimentRow(
+                benchmark=benchmark,
+                energies=energies,
+                misses=misses,
+                runtimes=runtimes,
+                extras=extras,
+                metrics=metrics,
+            )
+        )
+    return rows
 
 
 def _compare(

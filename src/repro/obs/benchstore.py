@@ -30,15 +30,20 @@ import math
 import os
 import subprocess
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 #: bump when the run-record layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
 
 #: regression threshold: fresh run > (1 + this) * stored median => flagged.
 DEFAULT_THRESHOLD = 0.10
+
+#: how long :meth:`BenchStore.append` waits for a concurrent writer
+#: before declaring its lock stale and breaking it.
+LOCK_TIMEOUT_SECONDS = 10.0
 
 
 @dataclass
@@ -137,25 +142,71 @@ class BenchStore:
         return [run for run in runs if isinstance(run, dict)]
 
     def append(self, run: BenchRun) -> Path:
-        """Append ``run`` to its benchmark's history file; returns the path."""
-        runs = self.load(run.name)
+        """Append ``run`` to its benchmark's history file; returns the path.
+
+        Safe under concurrent writers: the read-modify-write cycle runs
+        under an ``O_CREAT | O_EXCL`` lockfile (per benchmark name), so
+        pooled benchmark runs appending from several processes at once
+        cannot interleave partial documents or drop each other's runs.
+        A lock older than :data:`LOCK_TIMEOUT_SECONDS` is treated as
+        leaked by a dead process and broken.
+        """
         record = run.to_dict()
         if not record["timestamp"]:
             record["timestamp"] = time.time()
         if record["git_rev"] == "unknown":
             record["git_rev"] = current_git_rev(self.root)
-        runs.append(record)
-        document = {
-            "schema_version": BENCH_SCHEMA_VERSION,
-            "benchmark": run.name,
-            "runs": runs,
-        }
         path = self.path_for(run.name)
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_text(json.dumps(document, indent=1) + "\n")
-        tmp.replace(path)
+        with self._locked(path):
+            runs = self.load(run.name)
+            runs.append(record)
+            document = {
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "benchmark": run.name,
+                "runs": runs,
+            }
+            # Atomic within the lock: readers racing the writer still see
+            # either the old or the new complete document, never a torn one.
+            tmp = path.with_suffix(path.suffix + f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(document, indent=1) + "\n")
+            tmp.replace(path)
         return path
+
+    @contextmanager
+    def _locked(self, path: Path, timeout: float = LOCK_TIMEOUT_SECONDS) -> Iterator[None]:
+        """Hold ``path``'s sibling lockfile for the duration of the block.
+
+        Waits up to ``timeout`` for a live writer; a lock older than
+        ``2 * timeout`` is treated as leaked by a dead process and broken.
+        """
+        lock_path = path.with_suffix(path.suffix + ".lock")
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    if time.time() - lock_path.stat().st_mtime > 2 * timeout:
+                        lock_path.unlink()  # stale lock from a dead writer
+                        continue
+                except OSError:
+                    continue  # holder released (or broke) it; retry at once
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"benchstore lock {lock_path} still held after {timeout:.0f}s"
+                    )
+                time.sleep(0.002)
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+            os.close(fd)
+            yield
+        finally:
+            try:
+                lock_path.unlink()
+            except OSError:
+                pass
 
     # -- analytics ----------------------------------------------------------
 

@@ -117,6 +117,61 @@ class Tracer:
                 break
         self.spans.append(span)
 
+    # -- cross-process shipping ---------------------------------------------
+
+    def export_records(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Finished spans + events as plain picklable dicts.
+
+        This is the wire format worker processes ship their trace back
+        through (see :mod:`repro.parallel`); :meth:`absorb` is the
+        inverse.  Only closed spans travel — an open span belongs to the
+        process that opened it.
+        """
+        return {
+            "spans": [
+                {
+                    "name": span.name,
+                    "parent": span.parent,
+                    "start_wall": span.start_wall,
+                    "start_mono": span.start_mono,
+                    "duration": span.duration,
+                    "status": span.status,
+                    "attrs": dict(span.attrs),
+                }
+                for span in self.spans
+            ],
+            "events": [
+                {"name": event.name, "time": event.time, "attrs": dict(event.attrs)}
+                for event in self.events
+            ],
+        }
+
+    def absorb(self, records: Dict[str, List[Dict[str, Any]]]) -> None:
+        """Append spans/events previously exported by another tracer.
+
+        Worker top-level spans (``parent is None``) are re-parented under
+        this tracer's currently open span, so a pooled run's trace tree
+        hangs off the ``parallel_map`` span exactly where the work was
+        dispatched.
+        """
+        local_parent = self._stack[-1].name if self._stack else None
+        for payload in records.get("spans", ()):
+            span = Span(self, payload["name"], dict(payload.get("attrs", {})))
+            span.parent = payload.get("parent") or local_parent
+            span.start_wall = payload.get("start_wall", 0.0)
+            span.start_mono = payload.get("start_mono", 0.0)
+            span.duration = payload.get("duration", 0.0)
+            span.status = payload.get("status", "ok")
+            self.spans.append(span)
+        for payload in records.get("events", ()):
+            self.events.append(
+                Event(
+                    name=payload["name"],
+                    time=payload.get("time", 0.0),
+                    attrs=dict(payload.get("attrs", {})),
+                )
+            )
+
     # -- queries ------------------------------------------------------------
 
     @property
@@ -171,6 +226,12 @@ class NullTracer:
 
     def aggregate(self) -> Dict[str, Tuple[int, float]]:
         return {}
+
+    def export_records(self) -> Dict[str, List[Dict[str, Any]]]:
+        return {"spans": [], "events": []}
+
+    def absorb(self, records: Dict[str, List[Dict[str, Any]]]) -> None:
+        pass
 
     def clear(self) -> None:
         pass

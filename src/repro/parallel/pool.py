@@ -1,0 +1,146 @@
+"""Process-pool fan-out with telemetry merge and a serial fallback.
+
+Two layers:
+
+* :func:`pool_map` — a generic ordered map over a
+  ``concurrent.futures.ProcessPoolExecutor``: results come back in item
+  order regardless of completion order, the dispatch shows up as a
+  ``parallel_map`` span plus ``jobs.workers`` / ``jobs.dispatched`` /
+  ``jobs.wall_saved_s`` metrics, and a pool that cannot start (no
+  ``fork``/semaphores in the sandbox, broken pickling of the target)
+  degrades to an in-process loop rather than failing the experiment.
+* :func:`parallel_map` — :func:`pool_map` specialised to the
+  :class:`~repro.parallel.spec.RunSpec` protocol: it toggles worker-side
+  recording to match the parent bundle and folds every worker's
+  telemetry back into the active bundle **in spec order**, which is what
+  makes pooled counter totals, last-writer-wins gauges and trace
+  contents match a serial run of the same grid.
+
+Worker count resolution (:func:`resolve_jobs`): an explicit ``jobs``
+argument wins; ``None``/``0`` defers to the ``REPRO_JOBS`` environment
+variable; absent both, the serial reference path (1) is used.  Negative
+values mean "all visible CPUs".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro import obs
+from repro.parallel.spec import RunResult, RunSpec, execute_spec
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment override consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` env > 1.
+
+    ``None`` and ``0`` mean "not specified"; negative values (argument
+    or env) resolve to ``os.cpu_count()``.  The result is always >= 1,
+    and 1 selects the serial reference path.
+    """
+    if jobs in (None, 0):
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+        if jobs == 0:
+            return 1
+    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+    label: str = "parallel_map",
+    finalize: Optional[Callable[[R], None]] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
+
+    Results are returned in item order.  ``fn`` and every item must be
+    picklable (``fn`` by reference: a module-level function).  With a
+    resolved worker count of 1 — or a single item — the map runs
+    in-process, with identical semantics.  A pool that cannot start at
+    all falls back to the in-process loop and counts the failure in
+    ``jobs.pool_failures``; exceptions raised *by ``fn``* are never
+    swallowed, in either mode.  ``finalize`` runs once per result, in
+    item order, inside the dispatch span — the hook telemetry merging
+    uses so absorbed worker spans re-parent under ``label``.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items)) if items else 1
+    ins = obs.get()
+    if workers <= 1:
+        results = [fn(item) for item in items]
+        if finalize is not None:
+            for result in results:
+                finalize(result)
+        return results
+
+    started = time.perf_counter()
+    results: Optional[List[R]] = None
+    with ins.tracer.span(label, jobs=workers, dispatched=len(items)):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(fn, items))
+        except (BrokenProcessPool, OSError, ImportError) as exc:
+            # The *pool* failed (sandboxed semaphores, fork bombs-proof
+            # environments, ...), not the work: degrade to serial.
+            ins.metrics.counter("jobs.pool_failures").inc()
+            ins.tracer.event("pool_fallback", label=label, error=f"{type(exc).__name__}: {exc}")
+            results = None
+        if results is None:
+            results = [fn(item) for item in items]
+        if finalize is not None:
+            for result in results:
+                finalize(result)
+    elapsed = time.perf_counter() - started
+
+    ins.metrics.gauge("jobs.workers").set(workers)
+    ins.metrics.counter("jobs.dispatched").inc(len(items))
+    worker_wall = sum(
+        r.wall_seconds for r in results if isinstance(r, RunResult)
+    )
+    if worker_wall:
+        ins.metrics.counter("jobs.wall_saved_s").inc(max(0.0, worker_wall - elapsed))
+    return results
+
+
+def parallel_map(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[RunResult]:
+    """Execute a grid of :class:`RunSpec` jobs and merge their telemetry.
+
+    Worker-side recording mirrors the parent: when the active bundle's
+    tracer records, workers run fully instrumented and ship spans,
+    events and decision provenance home.  Each worker's registry is
+    folded into the active one via ``MetricsRegistry.merge`` in **spec
+    order** — counters and histograms are associative so totals match a
+    serial run exactly, and last-writer-wins gauges see the same final
+    writer a serial loop would.
+    """
+    ins = obs.get()
+    record = bool(ins.recording)
+    prepared = [replace(spec, record=record) for spec in specs]
+
+    def _merge(result: RunResult) -> None:
+        ins.metrics.merge(result.metrics)
+        if result.trace is not None:
+            ins.tracer.absorb(result.trace)
+        for decision in result.decisions:
+            ins.decisions.record(decision)
+
+    return pool_map(execute_spec, prepared, jobs=jobs, label="parallel_map", finalize=_merge)

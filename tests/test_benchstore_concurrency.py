@@ -1,0 +1,88 @@
+"""Stress: concurrent BenchStore.append must never drop or corrupt runs."""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.obs.benchstore import BenchRun, BenchStore
+
+#: writers x appends-per-writer for the multi-process stress test.
+N_WRITERS = 6
+N_APPENDS = 4
+
+
+def _hammer(root: str, writer: int) -> None:
+    """Worker entry: append N_APPENDS runs to the same benchmark file."""
+    store = BenchStore(root)
+    for i in range(N_APPENDS):
+        store.append(
+            BenchRun(
+                name="stress",
+                wall_seconds=0.001 * (writer + 1),
+                git_rev=f"w{writer}",
+                timestamp=float(writer * 1000 + i + 1),
+                extra={"writer": writer, "i": i},
+            )
+        )
+
+
+class TestConcurrentAppend:
+    def test_multiprocess_stress(self, tmp_path):
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        workers = [
+            ctx.Process(target=_hammer, args=(str(tmp_path), writer))
+            for writer in range(N_WRITERS)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = BenchStore(tmp_path)
+        runs = store.load("stress")
+        # Every append survived — nothing lost to read-modify-write races.
+        assert len(runs) == N_WRITERS * N_APPENDS
+        seen = {(run["extra"]["writer"], run["extra"]["i"]) for run in runs}
+        assert len(seen) == N_WRITERS * N_APPENDS
+        # The final document is one valid JSON object with the schema header.
+        document = json.loads(store.path_for("stress").read_text())
+        assert document["schema_version"] == 1
+        assert document["benchmark"] == "stress"
+        # No lock or temp litter left behind.
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "BENCH_stress.json"]
+        assert leftovers == []
+
+    def test_single_process_append_still_works(self, tmp_path):
+        store = BenchStore(tmp_path)
+        for i in range(3):
+            store.append(BenchRun(name="solo", wall_seconds=0.1 + i))
+        assert len(store.load("solo")) == 3
+        assert store.median_wall("solo") == 1.1 / 1  # middle of 0.1, 1.1, 2.1
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = BenchStore(tmp_path)
+        path = store.path_for("stale")
+        lock = path.with_suffix(path.suffix + ".lock")
+        lock.write_text("424242\n")
+        # Age the lock far past LOCK_TIMEOUT_SECONDS: a dead writer's
+        # leftover must not wedge the store.
+        old = time.time() - 100
+        os.utime(lock, (old, old))
+        store.append(BenchRun(name="stale", wall_seconds=0.5))
+        assert len(store.load("stale")) == 1
+        assert not lock.exists()
+
+    def test_held_lock_times_out(self, tmp_path):
+        import pytest
+
+        store = BenchStore(tmp_path)
+        path = store.path_for("held")
+        lock = path.with_suffix(path.suffix + ".lock")
+        lock.write_text("1\n")  # fresh lock, held by a "live" writer
+        with pytest.raises(TimeoutError, match="still held"):
+            with store._locked(path, timeout=0.3):
+                pass
+        lock.unlink()

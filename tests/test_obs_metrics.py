@@ -134,3 +134,78 @@ class TestMerge:
         assert a.histogram("h").min == 3.0
         assert a.histogram("h").max == 3.0
         assert math.isinf(MetricsRegistry().histogram("fresh").min)
+
+    def test_merge_nonempty_histogram_into_empty(self):
+        a = MetricsRegistry()
+        a.histogram("h")  # exists, zero observations
+        b = MetricsRegistry()
+        b.histogram("h").observe(2.0)
+        b.histogram("h").observe(6.0)
+        a.merge(b)
+        merged = a.histogram("h")
+        assert (merged.count, merged.total, merged.min, merged.max) == (2, 8.0, 2.0, 6.0)
+        assert merged.mean == 4.0
+
+    def test_merge_disjoint_instrument_sets(self):
+        a = _registry({"eas.evaluations": 3})
+        a.histogram("eas.span_ms").observe(1.0)
+        b = _registry({"edf.evaluations": 5})
+        b.gauge("jobs.workers").set(4)
+        a.merge(b)
+        assert a.counter_values() == {"eas.evaluations": 3.0, "edf.evaluations": 5.0}
+        assert a.gauge("jobs.workers").value == 4
+        assert a.histogram("eas.span_ms").count == 1
+
+    def test_merge_is_commutative_on_counters_and_histograms(self):
+        def build(counters, observations):
+            registry = _registry(counters)
+            for value in observations:
+                registry.histogram("h").observe(value)
+            return registry
+
+        ab = build({"x": 1}, [3.0]).merge(build({"x": 2, "y": 4}, [1.0, 7.0]))
+        ba = build({"x": 2, "y": 4}, [1.0, 7.0]).merge(build({"x": 1}, [3.0]))
+        assert ab.counter_values() == ba.counter_values()
+        assert ab.snapshot()["histograms"] == ba.snapshot()["histograms"]
+
+    def test_merge_after_reset(self):
+        # The pool's per-phase pattern: reset the parent registry, then
+        # fold fresh worker registries in — stale pre-reset totals must
+        # not leak through, and cached instrument references stay live.
+        parent = _registry({"eas.evaluations": 99})
+        cached = parent.counter("eas.evaluations")
+        parent.gauge("jobs.workers").set(8)
+        parent.histogram("h").observe(50.0)
+        parent.reset()
+        worker = _registry({"eas.evaluations": 7})
+        worker.histogram("h").observe(2.0)
+        parent.merge(worker)
+        assert parent.counter_values() == {"eas.evaluations": 7.0}
+        assert cached.value == 7.0
+        assert parent.snapshot()["gauges"] == {}  # reset cleared the write
+        assert parent.snapshot()["histograms"]["h"] == {
+            "count": 1,
+            "sum": 2.0,
+            "min": 2.0,
+            "max": 2.0,
+        }
+
+    def test_merge_pickled_roundtrip_registry(self):
+        # Worker registries travel home through pickle; merging the
+        # reconstructed registry must behave exactly like the original.
+        import pickle
+
+        worker = _registry({"eas.evaluations": 11})
+        worker.gauge("jobs.workers").set(2)
+        worker.histogram("h").observe(4.5)
+        clone = pickle.loads(pickle.dumps(worker))
+        direct = MetricsRegistry().merge(worker)
+        via_pickle = MetricsRegistry().merge(clone)
+        assert direct.snapshot() == via_pickle.snapshot()
+
+    def test_merge_returns_self_for_chaining(self):
+        a = MetricsRegistry()
+        b = _registry({"x": 1})
+        c = _registry({"x": 2})
+        assert a.merge(b).merge(c) is a
+        assert a.counter_values() == {"x": 3.0}
