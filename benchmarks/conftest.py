@@ -20,12 +20,14 @@ Scale: benchmarks default to 150-task random graphs (the paper uses
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, Optional, Tuple
 
 import pytest
 
 from repro.obs.benchstore import BenchRun, BenchStore
+from repro.parallel.pool import resolve_jobs
 
 _CONFIG = None
 
@@ -72,10 +74,22 @@ def _record(test_name: str, wall: Optional[float], result: Any) -> None:
     if store is None:
         return
     name = test_name[len("test_"):] if test_name.startswith("test_") else test_name
-    check = store.check(name, wall)
+    # CPU-cohorted gate: only compare against medians measured on a host
+    # with the same cpu_count, so a 1-CPU CI container and a many-core
+    # workstation never gate (or "improve") each other's baselines.
+    cpu_count = os.cpu_count()
+    check = store.check(name, wall, cpu_count=cpu_count)
     energy, misses, extra = _telemetry_from_result(result)
     store.append(
-        BenchRun(name=name, wall_seconds=wall, energy_nJ=energy, misses=misses, extra=extra)
+        BenchRun(
+            name=name,
+            wall_seconds=wall,
+            energy_nJ=energy,
+            misses=misses,
+            cpu_count=cpu_count,
+            jobs=resolve_jobs(None),
+            extra=extra,
+        )
     )
     if _CONFIG is not None and _CONFIG.getoption("--bench-check", default=False):
         print(check.describe())

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from contextlib import nullcontext, redirect_stdout
+from typing import Any, Dict, List, Optional
 
 from repro import obs
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4
@@ -25,13 +27,16 @@ from repro.baselines.edf import edf_schedule
 from repro.core.eas import EASConfig, eas_base_schedule, eas_schedule
 from repro.ctg.generator import generate_category
 from repro.ctg.multimedia import CLIP_NAMES, av_decoder_ctg, av_encoder_ctg, av_integrated_ctg
-from repro.errors import SchedulingError
+from repro.errors import LedgerError, SchedulingError
 from repro.evalx.experiments import (
     run_fig7,
     run_msb_table,
     run_random_category,
 )
 from repro.evalx.reporting import format_figure, format_table
+from repro.obs.heartbeat import Heartbeat, resolve_interval
+from repro.obs.ledger import RunLedger, resolve_ledger_path
+from repro.parallel.pool import resolve_jobs
 from repro.schedule.gantt import render_gantt
 
 
@@ -44,28 +49,78 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_path = getattr(args, "trace", None)
     profile = bool(getattr(args, "profile", False))
-    if not trace_path and not profile:
+    heartbeat_secs = resolve_interval(getattr(args, "heartbeat", None))
+    try:
+        ledger = _open_ledger(args)
+    except LedgerError as exc:
+        print(f"repro-noc: error: {exc}", file=sys.stderr)
+        return 1
+
+    if ledger is None and not trace_path and not profile and not heartbeat_secs:
         # Uninstrumented path: the default null bundle stays active, no
-        # trace I/O happens, and failures still exit cleanly.
+        # trace/ledger I/O happens, and failures still exit cleanly.
         try:
             return args.handler(args)
         except SchedulingError as exc:
             print(f"repro-noc: error: {exc}", file=sys.stderr)
             return 1
 
-    instrumentation = obs.Instrumentation.enabled()
+    # Heartbeat needs the open-span stack, so it implies a live tracer;
+    # a ledger alone rides on the cheap disabled bundle (its per-run
+    # metrics registry still snapshots counters for the terminal record).
+    instrument = bool(trace_path or profile or heartbeat_secs)
+    instrumentation = (
+        obs.Instrumentation.enabled() if instrument else obs.Instrumentation.disabled()
+    )
+    instrumentation.ledger = ledger
     status = 0
+    started = time.perf_counter()
     with obs.activate(instrumentation):
-        with instrumentation.tracer.span("cli", command=args.command):
-            try:
-                status = args.handler(args)
-            except SchedulingError as exc:
-                instrumentation.tracer.event(
-                    "scheduling_error", command=args.command, error=str(exc)
-                )
-                instrumentation.metrics.counter("cli.scheduling_errors").inc()
-                print(f"repro-noc: error: {exc}", file=sys.stderr)
-                status = 1
+        if ledger is not None:
+            ledger.run_started(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                params=_ledger_params(args),
+                jobs=resolve_jobs(getattr(args, "jobs", None)),
+            )
+        monitor = (
+            Heartbeat(heartbeat_secs, ledger=ledger) if heartbeat_secs else nullcontext()
+        )
+        # Under ``--trace -`` the trace JSONL owns stdout: route the
+        # handler's normal output (tables, Gantt charts) to stderr so
+        # stdout stays machine-parseable.  Progress and heartbeat lines
+        # already target stderr unconditionally.
+        output = redirect_stdout(sys.stderr) if trace_path == "-" else nullcontext()
+        try:
+            with monitor, instrumentation.tracer.span("cli", command=args.command):
+                with output:
+                    try:
+                        status = args.handler(args)
+                    except SchedulingError as exc:
+                        instrumentation.tracer.event(
+                            "scheduling_error", command=args.command, error=str(exc)
+                        )
+                        instrumentation.metrics.counter("cli.scheduling_errors").inc()
+                        if ledger is not None:
+                            # The failure record carries the traceback and
+                            # the partial counter snapshot at death — the
+                            # postmortem the one-line stderr error elides.
+                            ledger.run_failed(
+                                exc, metrics=instrumentation.metrics.counter_values()
+                            )
+                        print(f"repro-noc: error: {exc}", file=sys.stderr)
+                        status = 1
+        except BaseException as exc:
+            if ledger is not None and not ledger.closed:
+                ledger.run_failed(exc, metrics=instrumentation.metrics.counter_values())
+            raise
+        if ledger is not None and not ledger.closed:
+            ledger.run_finished(
+                status=status,
+                wall_seconds=time.perf_counter() - started,
+                metrics=instrumentation.metrics.counter_values(),
+                top_phases=_top_phases(instrumentation),
+            )
     if profile:
         print(obs.export.format_profile(instrumentation), file=sys.stderr)
     if trace_path:
@@ -80,6 +135,59 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"trace: {records} records -> {trace_path}", file=sys.stderr)
     return status
+
+
+def _open_ledger(args) -> Optional[RunLedger]:
+    """The run ledger this invocation records to, or None when off.
+
+    An explicitly requested path (``--ledger FILE``) must be writable —
+    a typo'd directory is a user error, not something to degrade around.
+    """
+    override = getattr(args, "ledger", None)
+    path = resolve_ledger_path(override)
+    if path is None:
+        return None
+    ledger = RunLedger(path)
+    if override:
+        ledger.ensure_writable()
+    return ledger
+
+
+def _ledger_params(args) -> Dict[str, Any]:
+    """The resolved invocation parameters a ``run_started`` record keeps.
+
+    Everything argparse resolved (seeds, preset names, clip, jobs, ...)
+    that serialises as JSON, plus the effective EAS configuration — the
+    provenance needed to reconstruct the run from the ledger alone.
+    """
+    params: Dict[str, Any] = {}
+    for key, value in vars(args).items():
+        if key == "handler":
+            continue
+        if value is None or isinstance(value, (bool, int, float, str)):
+            params[key] = value
+        elif isinstance(value, (list, tuple)):
+            params[key] = list(value)
+    if hasattr(args, "no_eval_cache"):
+        from dataclasses import asdict
+
+        params["eas_config"] = asdict(_eas_config(args))
+    return params
+
+
+def _top_phases(instrumentation, limit: int = 10) -> List[Dict[str, Any]]:
+    """Slowest span names by self-time, for the terminal ledger record."""
+    aggregated = obs.export.aggregate_self_times(instrumentation)
+    ranked = sorted(aggregated.items(), key=lambda item: (-item[1][2], item[0]))
+    return [
+        {
+            "name": name,
+            "count": count,
+            "total_seconds": round(total, 6),
+            "self_seconds": round(self_s, 6),
+        }
+        for name, (count, total, self_s) in ranked[:limit]
+    ]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -156,6 +264,38 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-tasks", type=int, default=100)
     p.set_defaults(handler=_handle_export_ctg)
 
+    p = sub.add_parser(
+        "report",
+        help="trend & postmortem report from BENCH_* histories and the run ledger",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "json"],
+        help="output rendering (json is machine-parseable)",
+    )
+    p.add_argument(
+        "--bench-dir",
+        metavar="DIR",
+        default=None,
+        help="directory holding BENCH_*.json histories "
+        "(default: REPRO_BENCH_DIR env, else the repository root)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression flag threshold as a fraction "
+        "(default 0.10, the --bench-check gate)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="max entries per bounded section (failures, phases, cells)",
+    )
+    p.set_defaults(handler=_handle_report)
+
     # Parallel execution, on the subcommands that run whole grids (the
     # evalx figures/tables) or repair portfolios (schedule).
     for name in ("fig5", "fig6", "table1", "table2", "table3", "schedule"):
@@ -198,6 +338,24 @@ def _build_parser() -> argparse.ArgumentParser:
             help="run EAS with the naive per-iteration F(i,k) recompute "
             "(the reference path) instead of the incremental evaluation "
             "cache — for A/B comparisons",
+        )
+        group.add_argument(
+            "--ledger",
+            metavar="FILE",
+            default=None,
+            help="append this run's lifecycle to a JSONL run ledger "
+            "(default: REPRO_LEDGER env, else RUN_LEDGER.jsonl in the "
+            "repository root; 'off' disables)",
+        )
+        group.add_argument(
+            "--heartbeat",
+            type=float,
+            metavar="SECS",
+            default=None,
+            help="emit a one-line stderr progress heartbeat (cells "
+            "done/total, ETA, current phase) every SECS seconds, with a "
+            "stall watchdog; also recorded in the run ledger "
+            "(default: REPRO_HEARTBEAT env, else off)",
         )
 
     return parser
@@ -429,6 +587,23 @@ def _handle_optimal(args) -> int:
     )
     print(f"  EAS {eas.total_energy():.4g} nJ (x{eas.total_energy() / exact.energy:.3f})")
     print(f"  EDF {edf.total_energy():.4g} nJ (x{edf.total_energy() / exact.energy:.3f})")
+    return 0
+
+
+def _handle_report(args) -> int:
+    from repro.obs.benchstore import DEFAULT_THRESHOLD
+    from repro.obs.report import build_report, format_report
+
+    ledger_path = resolve_ledger_path(getattr(args, "ledger", None))
+    active = obs.get().ledger
+    report = build_report(
+        bench_dir=args.bench_dir,
+        ledger_path=ledger_path,
+        threshold=args.threshold if args.threshold is not None else DEFAULT_THRESHOLD,
+        limit=args.limit,
+        exclude_run_id=active.run_id if active is not None else None,
+    )
+    print(format_report(report, args.format))
     return 0
 
 

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional
 
-from repro.errors import CTGError
+from repro.errors import CTGError, InfeasibleTaskError
 
 #: Marker execution time for "this task cannot run on that PE type".
 INFEASIBLE = math.inf
@@ -117,7 +117,9 @@ class Task:
                 times.append(cost.time)
                 energies.append(cost.energy)
         if not times:
-            raise CTGError(f"task {self.name!r} cannot run on any PE of the platform")
+            raise InfeasibleTaskError(
+                f"task {self.name!r} cannot run on any PE of the platform"
+            )
         return TaskStats(
             mean_time=_mean(times),
             var_time=_variance(times),

@@ -27,6 +27,16 @@ class SchedulingError(ReproError):
     """The scheduler could not produce a feasible schedule."""
 
 
+class InfeasibleTaskError(CTGError, SchedulingError):
+    """A task cannot execute on any PE of the selected platform.
+
+    Deliberately both a :class:`CTGError` (the task/platform pairing is
+    inconsistent) and a :class:`SchedulingError` (no scheduler can place
+    the task), so the CLI's clean one-line scheduling-failure path
+    handles it instead of dumping a traceback.
+    """
+
+
 class InfeasibleOrderError(SchedulingError):
     """A (mapping, per-PE order) pair has a cross-PE ordering deadlock."""
 
@@ -37,3 +47,11 @@ class ScheduleValidationError(ReproError):
 
 class SerializationError(ReproError):
     """A CTG or schedule file could not be parsed."""
+
+
+class ObservabilityError(ReproError):
+    """A telemetry subsystem (ledger, report, trace) hit a hard error."""
+
+
+class LedgerError(ObservabilityError):
+    """The run ledger could not be opened, written, or parsed."""

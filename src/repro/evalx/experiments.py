@@ -231,12 +231,23 @@ def run_fig7(
             decoder_deadline_scale=1.0 / ratio,
         )
         acg = mesh_3x3()
+        ledger = obs.get().ledger
         for name in schedulers:
             schedule = _run_scheduler(name, ctg, acg)
             energy = schedule.total_energy()
             if schedule.deadline_misses():
                 energy = float("nan")
             series[name].append(energy)
+            if ledger is not None:
+                ledger.phase(
+                    "cell",
+                    tag=f"fig7[{ratio:g}]:{name}",
+                    scheduler=name,
+                    benchmark=ctg.name,
+                    runtime_seconds=schedule.runtime_seconds,
+                    energy=schedule.total_energy(),
+                    misses=len(schedule.deadline_misses()),
+                )
     return FigureSeries(
         x_label="unified performance ratio",
         x_values=list(ratios),
@@ -369,6 +380,7 @@ def _compare(
     runtimes: Dict[str, float] = {}
     extras: Dict[str, float] = {}
     metrics: Dict[str, float] = {}
+    ledger = obs.get().ledger
     for name in schedulers:
         before = registry.counter_values()
         schedule = _run_scheduler(name, ctg, acg, eas_config=eas_config)
@@ -376,6 +388,18 @@ def _compare(
         energies[name] = schedule.total_energy()
         misses[name] = len(schedule.deadline_misses())
         runtimes[name] = schedule.runtime_seconds
+        if ledger is not None:
+            # Mirror of the pooled per-cell record (see execute_spec):
+            # the ledger reconstructs serial grids cell by cell too.
+            ledger.phase(
+                "cell",
+                tag=f"{benchmark_name or ctg.name}:{name}",
+                scheduler=name,
+                benchmark=ctg.name,
+                runtime_seconds=schedule.runtime_seconds,
+                energy=energies[name],
+                misses=misses[name],
+            )
         extras[f"{name}:comp"] = schedule.computation_energy()
         extras[f"{name}:comm"] = schedule.communication_energy()
         extras[f"{name}:hops"] = schedule.average_hops_per_packet()

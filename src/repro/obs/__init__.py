@@ -24,7 +24,7 @@ Typical use::
     print(obs.export.format_profile(ins))
 """
 
-from repro.obs import benchstore, export, timeline, utilization
+from repro.obs import benchstore, export, heartbeat, ledger, report, timeline, utilization
 from repro.obs.benchstore import BenchRun, BenchStore, RegressionCheck
 from repro.obs.context import (
     Instrumentation,
@@ -34,7 +34,10 @@ from repro.obs.context import (
     timed_phase,
 )
 from repro.obs.decisions import Candidate, DecisionLog, TaskDecision
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.ledger import RUN_LEDGER_SCHEMA_VERSION, RunLedger, read_ledger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_report, format_report
 from repro.obs.timeline import chrome_trace, write_chrome_trace
 from repro.obs.tracer import NULL_TRACER, Event, NullTracer, Span, Tracer
 from repro.obs.utilization import UtilizationReport, analyze_schedule
@@ -47,13 +50,16 @@ __all__ = [
     "DecisionLog",
     "Event",
     "Gauge",
+    "Heartbeat",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PhaseTiming",
+    "RUN_LEDGER_SCHEMA_VERSION",
     "RegressionCheck",
+    "RunLedger",
     "Span",
     "TaskDecision",
     "Tracer",
@@ -61,9 +67,15 @@ __all__ = [
     "activate",
     "analyze_schedule",
     "benchstore",
+    "build_report",
     "chrome_trace",
     "export",
+    "format_report",
     "get",
+    "heartbeat",
+    "ledger",
+    "read_ledger",
+    "report",
     "timed_phase",
     "timeline",
     "utilization",

@@ -25,6 +25,7 @@ turns that flag into a nonzero exit under ``--bench-check``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
@@ -46,6 +47,45 @@ DEFAULT_THRESHOLD = 0.10
 LOCK_TIMEOUT_SECONDS = 10.0
 
 
+@contextmanager
+def exclusive_lock(path: Path, timeout: float = LOCK_TIMEOUT_SECONDS) -> Iterator[None]:
+    """Hold ``path``'s sibling lockfile for the duration of the block.
+
+    The cross-process mutual-exclusion primitive shared by the bench
+    store and the run ledger: an ``O_CREAT | O_EXCL`` lockfile next to
+    ``path``.  Waits up to ``timeout`` for a live writer; a lock older
+    than ``2 * timeout`` is treated as leaked by a dead process and
+    broken.
+    """
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                if time.time() - lock_path.stat().st_mtime > 2 * timeout:
+                    lock_path.unlink()  # stale lock from a dead writer
+                    continue
+            except OSError:
+                continue  # holder released (or broke) it; retry at once
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"benchstore lock {lock_path} still held after {timeout:.0f}s"
+                )
+            time.sleep(0.002)
+    try:
+        os.write(fd, f"{os.getpid()}\n".encode())
+        os.close(fd)
+        yield
+    finally:
+        try:
+            lock_path.unlink()
+        except OSError:
+            pass
+
+
 @dataclass
 class BenchRun:
     """One benchmark execution's telemetry."""
@@ -56,6 +96,13 @@ class BenchRun:
     misses: Optional[int] = None
     git_rev: str = "unknown"
     timestamp: float = 0.0
+    #: host parallelism the run was measured under.  Trend comparisons
+    #: (``--bench-check``, ``repro-noc report``) only consider records
+    #: whose ``cpu_count`` matches, so a wall time measured on a 1-CPU
+    #: container can never gate or pollute a many-core host's baseline.
+    cpu_count: Optional[int] = None
+    #: resolved ``--jobs`` worker count the run used (1 = serial).
+    jobs: Optional[int] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -68,6 +115,10 @@ class BenchRun:
             record["energy_nJ"] = self.energy_nJ
         if self.misses is not None:
             record["misses"] = self.misses
+        if self.cpu_count is not None:
+            record["cpu_count"] = self.cpu_count
+        if self.jobs is not None:
+            record["jobs"] = self.jobs
         if self.extra:
             record["extra"] = dict(self.extra)
         return record
@@ -151,6 +202,8 @@ class BenchStore:
         A lock older than :data:`LOCK_TIMEOUT_SECONDS` is treated as
         leaked by a dead process and broken.
         """
+        if run.cpu_count is None:
+            run = dataclasses.replace(run, cpu_count=os.cpu_count())
         record = run.to_dict()
         if not record["timestamp"]:
             record["timestamp"] = time.time()
@@ -173,50 +226,29 @@ class BenchStore:
             tmp.replace(path)
         return path
 
-    @contextmanager
     def _locked(self, path: Path, timeout: float = LOCK_TIMEOUT_SECONDS) -> Iterator[None]:
-        """Hold ``path``'s sibling lockfile for the duration of the block.
-
-        Waits up to ``timeout`` for a live writer; a lock older than
-        ``2 * timeout`` is treated as leaked by a dead process and broken.
-        """
-        lock_path = path.with_suffix(path.suffix + ".lock")
-        deadline = time.monotonic() + timeout
-        while True:
-            try:
-                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-                break
-            except FileExistsError:
-                try:
-                    if time.time() - lock_path.stat().st_mtime > 2 * timeout:
-                        lock_path.unlink()  # stale lock from a dead writer
-                        continue
-                except OSError:
-                    continue  # holder released (or broke) it; retry at once
-                if time.monotonic() >= deadline:
-                    raise TimeoutError(
-                        f"benchstore lock {lock_path} still held after {timeout:.0f}s"
-                    )
-                time.sleep(0.002)
-        try:
-            os.write(fd, f"{os.getpid()}\n".encode())
-            os.close(fd)
-            yield
-        finally:
-            try:
-                lock_path.unlink()
-            except OSError:
-                pass
+        """Hold ``path``'s sibling lockfile (see :func:`exclusive_lock`)."""
+        return exclusive_lock(path, timeout)
 
     # -- analytics ----------------------------------------------------------
 
-    def median_wall(self, name: str) -> Optional[float]:
-        """Median stored ``wall_seconds``; None when no runs exist."""
+    def median_wall(self, name: str, cpu_count: Optional[int] = None) -> Optional[float]:
+        """Median stored ``wall_seconds``; None when no runs exist.
+
+        With ``cpu_count`` given, only runs measured on a matching host
+        enter the baseline — a record carrying a *different*
+        ``cpu_count`` is skipped, so a wall time from a 1-CPU container
+        cannot gate or pollute a many-core host's trend.  Legacy records
+        without a recorded ``cpu_count`` are treated as wildcards and
+        stay comparable (excluding them would silently disarm every
+        pre-existing gate).
+        """
         walls = sorted(
             run["wall_seconds"]
             for run in self.load(name)
             if isinstance(run.get("wall_seconds"), (int, float))
             and math.isfinite(run["wall_seconds"])
+            and cpu_comparable(run, cpu_count)
         )
         if not walls:
             return None
@@ -226,15 +258,35 @@ class BenchStore:
         return 0.5 * (walls[mid - 1] + walls[mid])
 
     def check(
-        self, name: str, wall_seconds: float, threshold: float = DEFAULT_THRESHOLD
+        self,
+        name: str,
+        wall_seconds: float,
+        threshold: float = DEFAULT_THRESHOLD,
+        cpu_count: Optional[int] = None,
     ) -> RegressionCheck:
-        """Compare a fresh run against the stored median (before appending)."""
+        """Compare a fresh run against the stored median (before appending).
+
+        ``cpu_count`` restricts the baseline to runs measured on a host
+        with a matching CPU count (see :meth:`median_wall`).
+        """
         return RegressionCheck(
             name=name,
             wall_seconds=wall_seconds,
-            median_seconds=self.median_wall(name),
+            median_seconds=self.median_wall(name, cpu_count=cpu_count),
             threshold=threshold,
         )
+
+
+def cpu_comparable(run: Dict[str, Any], cpu_count: Optional[int]) -> bool:
+    """Whether a stored ``run`` may enter a baseline for a ``cpu_count`` host.
+
+    ``cpu_count=None`` disables the filter; a run without a recorded
+    ``cpu_count`` (pre-schema-extension legacy) matches any host.
+    """
+    if cpu_count is None:
+        return True
+    recorded = run.get("cpu_count")
+    return recorded is None or recorded == cpu_count
 
 
 _GIT_REV_CACHE: Dict[str, str] = {}

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Union
+from typing import Any, Iterator, Optional, Union
 
 from repro.obs.decisions import DecisionLog
 from repro.obs.metrics import MetricsRegistry
@@ -38,6 +38,11 @@ class Instrumentation:
     tracer: Union[Tracer, NullTracer]
     metrics: MetricsRegistry
     decisions: DecisionLog
+    #: the run ledger this run appends to (a
+    #: :class:`repro.obs.ledger.RunLedger`), or None when the flight
+    #: recorder is off.  Typed ``Any`` to keep :mod:`repro.obs.ledger`
+    #: importable without a cycle through this module.
+    ledger: Optional[Any] = None
 
     @classmethod
     def enabled(cls) -> "Instrumentation":

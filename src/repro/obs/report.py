@@ -1,0 +1,301 @@
+"""The trend & postmortem reporter behind ``repro-noc report``.
+
+Synthesizes the two durable telemetry stores — every ``BENCH_<name>.json``
+benchmark history and the ``RUN_LEDGER.jsonl`` flight recorder — into
+one report (text, markdown or JSON):
+
+* **per-benchmark trend** — stored run count, median wall time, the
+  latest run's wall time and its delta against the median, flagged as a
+  regression with the same threshold ``--bench-check`` gates on.
+  Comparisons are CPU-cohorted: only stored runs whose ``cpu_count``
+  matches the latest run's enter the median (legacy records without one
+  are wildcards), so a 1-CPU container's wall times never pollute a
+  many-core host's trend — the skipped cross-host records are counted
+  in ``ignored_runs``.
+* **recent failures** — ``run_failed`` ledger records joined with their
+  run's command/argv, traceback included (most recent first).
+* **slowest phases** — tracer span self-times from the ``top_phases``
+  snapshot of every ``run_finished`` record, aggregated by span name;
+  plus the slowest individual grid cells from ``phase`` records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.benchstore import DEFAULT_THRESHOLD, BenchStore, cpu_comparable
+from repro.obs.ledger import group_runs, iter_failures, read_ledger
+
+#: how many failures / phases / cells a bounded section keeps.
+DEFAULT_LIMIT = 10
+
+
+def build_report(
+    bench_dir: Union[str, Path, None] = None,
+    ledger_path: Union[str, Path, None] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    limit: int = DEFAULT_LIMIT,
+    exclude_run_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The full report as a JSON-ready dict.
+
+    ``bench_dir`` defaults to the repository root (the
+    :class:`BenchStore` default); ``ledger_path`` of None skips the
+    ledger sections.  ``exclude_run_id`` drops the reporting run itself
+    from the run statistics (it is open while the report is built).
+    """
+    store = BenchStore(bench_dir) if bench_dir is not None else BenchStore.from_env()
+    report: Dict[str, Any] = {
+        "generated_at": time.time(),
+        "threshold": threshold,
+        "bench_dir": str(store.root) if store is not None else None,
+        "ledger": str(ledger_path) if ledger_path is not None else None,
+        "benchmarks": _bench_trends(store, threshold) if store is not None else [],
+        "failures": [],
+        "slow_phases": [],
+        "slow_cells": [],
+        "runs": {"total": 0, "finished": 0, "failed": 0, "open": 0},
+    }
+    report["regressions"] = [
+        row["benchmark"] for row in report["benchmarks"] if row["regressed"]
+    ]
+    if ledger_path is not None:
+        records = read_ledger(ledger_path)
+        failures = [f for f in iter_failures(records) if f["run_id"] != exclude_run_id]
+        failures.sort(key=lambda f: f.get("t") or 0.0, reverse=True)
+        report["failures"] = failures[:limit]
+        report["slow_phases"] = _slow_phases(records, limit)
+        report["slow_cells"] = _slow_cells(records, limit)
+        report["runs"] = _run_stats(records, exclude_run_id)
+    return report
+
+
+# -- section builders -----------------------------------------------------------
+
+
+def _bench_trends(store: BenchStore, threshold: float) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for path in sorted(store.root.glob("BENCH_*.json")):
+        name = path.name[len("BENCH_") : -len(".json")]
+        runs = [
+            run
+            for run in store.load(name)
+            if isinstance(run.get("wall_seconds"), (int, float))
+        ]
+        if not runs:
+            continue
+        last = runs[-1]
+        cpu = last.get("cpu_count")
+        cohort = [run for run in runs[:-1] if cpu_comparable(run, cpu)]
+        walls = sorted(run["wall_seconds"] for run in cohort)
+        median = _median(walls)
+        last_wall = last["wall_seconds"]
+        delta_pct = 100.0 * (last_wall / median - 1.0) if median else None
+        rows.append(
+            {
+                "benchmark": name,
+                "runs": len(runs),
+                "cpu_count": cpu,
+                "ignored_runs": len(runs) - 1 - len(cohort),
+                "median_wall_seconds": median,
+                "last_wall_seconds": last_wall,
+                "last_git_rev": last.get("git_rev", "unknown"),
+                "delta_pct": round(delta_pct, 2) if delta_pct is not None else None,
+                "regressed": bool(
+                    median is not None and last_wall > median * (1.0 + threshold)
+                ),
+            }
+        )
+    return rows
+
+
+def _median(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    mid = len(values) // 2
+    if len(values) % 2:
+        return values[mid]
+    return 0.5 * (values[mid - 1] + values[mid])
+
+
+def _slow_phases(records: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any]]:
+    """Span self-times from every run's ``run_finished.top_phases``."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        if record.get("type") not in ("run_finished", "run_failed"):
+            continue
+        for phase in record.get("top_phases") or []:
+            name = phase.get("name")
+            if not name:
+                continue
+            bucket = totals.setdefault(name, {"count": 0, "self_seconds": 0.0})
+            bucket["count"] += phase.get("count", 1)
+            bucket["self_seconds"] += phase.get("self_seconds", 0.0)
+    ranked = sorted(totals.items(), key=lambda item: -item[1]["self_seconds"])
+    return [
+        {"name": name, "count": int(stats["count"]), "self_seconds": stats["self_seconds"]}
+        for name, stats in ranked[:limit]
+    ]
+
+
+def _slow_cells(records: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any]]:
+    """The slowest individual grid cells ever flight-recorded."""
+    cells = [
+        {
+            "tag": record.get("tag", ""),
+            "scheduler": record.get("scheduler", ""),
+            "benchmark": record.get("benchmark", ""),
+            "runtime_seconds": record["runtime_seconds"],
+            "run_id": record.get("run_id", ""),
+        }
+        for record in records
+        if record.get("type") == "phase"
+        and record.get("name") == "cell"
+        and isinstance(record.get("runtime_seconds"), (int, float))
+    ]
+    cells.sort(key=lambda cell: -cell["runtime_seconds"])
+    return cells[:limit]
+
+
+def _run_stats(records: List[Dict[str, Any]], exclude_run_id: Optional[str]) -> Dict[str, int]:
+    runs = group_runs(records)
+    runs.pop(exclude_run_id, None)
+    stats = {"total": len(runs), "finished": 0, "failed": 0, "open": 0}
+    for run in runs.values():
+        terminal = run["terminal"]
+        if terminal is None:
+            stats["open"] += 1
+        elif terminal.get("type") == "run_finished":
+            stats["finished"] += 1
+        else:
+            stats["failed"] += 1
+    return stats
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def format_report(report: Dict[str, Any], fmt: str = "text") -> str:
+    """Render ``report`` as ``text``, ``markdown`` or ``json``."""
+    if fmt == "json":
+        return json.dumps(report, indent=1, allow_nan=False, default=str)
+    if fmt == "markdown":
+        return _format_markdown(report)
+    if fmt == "text":
+        return _format_text(report)
+    raise ValueError(f"unknown report format {fmt!r}")
+
+
+def _trend_cells(row: Dict[str, Any]) -> List[str]:
+    median = row["median_wall_seconds"]
+    delta = row["delta_pct"]
+    return [
+        row["benchmark"],
+        str(row["runs"]),
+        f"{median * 1e3:.1f}" if median is not None else "-",
+        f"{row['last_wall_seconds'] * 1e3:.1f}",
+        f"{delta:+.1f}%" if delta is not None else "-",
+        "REGRESSION" if row["regressed"] else "ok",
+        str(row["ignored_runs"]),
+    ]
+
+
+_TREND_HEADER = ["benchmark", "runs", "median ms", "last ms", "delta", "verdict", "x-cpu"]
+
+
+def _format_text(report: Dict[str, Any]) -> str:
+    lines = ["== benchmark trends =="]
+    rows = report["benchmarks"]
+    if rows:
+        table = [_TREND_HEADER] + [_trend_cells(row) for row in rows]
+        widths = [max(len(r[i]) for r in table) for i in range(len(_TREND_HEADER))]
+        for r in table:
+            lines.append("  " + "  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    else:
+        lines.append("  (no benchmark histories found)")
+    if report["regressions"]:
+        lines.append(f"  flagged: {', '.join(report['regressions'])}")
+
+    stats = report["runs"]
+    lines.append("== runs ==")
+    lines.append(
+        f"  {stats['total']} ledgered ({stats['finished']} finished, "
+        f"{stats['failed']} failed, {stats['open']} open)"
+    )
+
+    lines.append("== recent failures ==")
+    if report["failures"]:
+        for failure in report["failures"]:
+            lines.append(
+                f"  {_stamp(failure.get('t'))}  {failure['command']}  {failure['error']}"
+            )
+            tail = [ln for ln in failure.get("traceback", "").splitlines() if ln.strip()]
+            if tail:
+                lines.append(f"      {tail[-1].strip()}")
+    else:
+        lines.append("  (none)")
+
+    lines.append("== slowest phases (self time) ==")
+    if report["slow_phases"]:
+        width = max(len(p["name"]) for p in report["slow_phases"])
+        for phase in report["slow_phases"]:
+            lines.append(
+                f"  {phase['name'].ljust(width)}  x{phase['count']:<5d} "
+                f"{phase['self_seconds'] * 1e3:10.2f} ms"
+            )
+    else:
+        lines.append("  (no span telemetry ledgered)")
+
+    if report["slow_cells"]:
+        lines.append("== slowest grid cells ==")
+        for cell in report["slow_cells"]:
+            label = cell["tag"] or f"{cell['benchmark']}:{cell['scheduler']}"
+            lines.append(f"  {label}  {cell['runtime_seconds'] * 1e3:.1f} ms")
+    return "\n".join(lines)
+
+
+def _format_markdown(report: Dict[str, Any]) -> str:
+    lines = ["# repro-noc run report", "", "## Benchmark trends", ""]
+    rows = report["benchmarks"]
+    if rows:
+        lines.append("| " + " | ".join(_TREND_HEADER) + " |")
+        lines.append("|" + "---|" * len(_TREND_HEADER))
+        for row in rows:
+            lines.append("| " + " | ".join(_trend_cells(row)) + " |")
+    else:
+        lines.append("_no benchmark histories found_")
+    lines += ["", "## Runs", ""]
+    stats = report["runs"]
+    lines.append(
+        f"{stats['total']} ledgered — {stats['finished']} finished, "
+        f"{stats['failed']} failed, {stats['open']} open."
+    )
+    lines += ["", "## Recent failures", ""]
+    if report["failures"]:
+        for failure in report["failures"]:
+            lines.append(
+                f"- `{_stamp(failure.get('t'))}` **{failure['command']}** — {failure['error']}"
+            )
+    else:
+        lines.append("_none_")
+    lines += ["", "## Slowest phases (self time)", ""]
+    if report["slow_phases"]:
+        lines.append("| phase | count | self ms |")
+        lines.append("|---|---|---|")
+        for phase in report["slow_phases"]:
+            lines.append(
+                f"| {phase['name']} | {phase['count']} "
+                f"| {phase['self_seconds'] * 1e3:.2f} |"
+            )
+    else:
+        lines.append("_no span telemetry ledgered_")
+    return "\n".join(lines)
+
+
+def _stamp(t: Optional[float]) -> str:
+    if not t:
+        return "?"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(t))

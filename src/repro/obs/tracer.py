@@ -178,6 +178,15 @@ class Tracer:
     def open_depth(self) -> int:
         return len(self._stack)
 
+    def open_span_names(self) -> List[str]:
+        """Names of currently open spans, outermost first.
+
+        Safe to call from a monitor thread: it snapshots the stack list
+        (one atomic copy under the GIL) and reads only span names — this
+        is how the heartbeat labels "what phase is the run in right now".
+        """
+        return [span.name for span in list(self._stack)]
+
     def aggregate(self) -> Dict[str, Tuple[int, float]]:
         """Per span name: ``(count, total seconds)`` over finished spans."""
         totals: Dict[str, Tuple[int, float]] = {}
@@ -226,6 +235,9 @@ class NullTracer:
 
     def aggregate(self) -> Dict[str, Tuple[int, float]]:
         return {}
+
+    def open_span_names(self) -> List[str]:
+        return []
 
     def export_records(self) -> Dict[str, List[Dict[str, Any]]]:
         return {"spans": [], "events": []}

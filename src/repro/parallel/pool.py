@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from repro import obs
+from repro.obs import heartbeat as heartbeat_module
 from repro.parallel.spec import RunResult, RunSpec, execute_spec
 
 T = TypeVar("T")
@@ -85,8 +86,14 @@ def pool_map(
     items = list(items)
     workers = min(resolve_jobs(jobs), len(items)) if items else 1
     ins = obs.get()
+    monitor = heartbeat_module.active()
+    if monitor is not None:
+        monitor.grid_started(len(items), workers=workers)
     if workers <= 1:
-        results = [fn(item) for item in items]
+        results = []
+        for item in items:
+            results.append(fn(item))
+            _notify_cell_done(monitor, results[-1])
         if finalize is not None:
             for result in results:
                 finalize(result)
@@ -97,7 +104,15 @@ def pool_map(
     with ins.tracer.span(label, jobs=workers, dispatched=len(items)):
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(fn, items))
+                # submit + per-future callbacks rather than pool.map: the
+                # callbacks fire on completion (any order), which is what
+                # feeds the heartbeat live progress/ETA; collecting
+                # ``result()`` in submit order keeps the map ordered.
+                futures = [pool.submit(fn, item) for item in items]
+                if monitor is not None:
+                    for future in futures:
+                        future.add_done_callback(_make_progress_callback(monitor))
+                results = [future.result() for future in futures]
         except (BrokenProcessPool, OSError, ImportError) as exc:
             # The *pool* failed (sandboxed semaphores, fork bombs-proof
             # environments, ...), not the work: degrade to serial.
@@ -105,7 +120,10 @@ def pool_map(
             ins.tracer.event("pool_fallback", label=label, error=f"{type(exc).__name__}: {exc}")
             results = None
         if results is None:
-            results = [fn(item) for item in items]
+            results = []
+            for item in items:
+                results.append(fn(item))
+                _notify_cell_done(monitor, results[-1])
         if finalize is not None:
             for result in results:
                 finalize(result)
@@ -121,6 +139,30 @@ def pool_map(
     return results
 
 
+def _notify_cell_done(monitor: Optional[Any], result: Any) -> None:
+    """Report one finished cell (and its worker-measured wall) upstream."""
+    if monitor is None:
+        return
+    wall = result.wall_seconds if isinstance(result, RunResult) else None
+    monitor.cell_done(wall)
+
+
+def _make_progress_callback(monitor: Any) -> Callable[["Future"], None]:
+    """A future callback feeding the heartbeat as completions land.
+
+    Runs on the executor's completion threads, so it only touches the
+    heartbeat (which locks internally); futures that failed are left for
+    the collection loop / fallback path to account for.
+    """
+
+    def _on_done(future: "Future") -> None:
+        if future.cancelled() or future.exception() is not None:
+            return
+        _notify_cell_done(monitor, future.result())
+
+    return _on_done
+
+
 def parallel_map(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[RunResult]:
     """Execute a grid of :class:`RunSpec` jobs and merge their telemetry.
 
@@ -134,7 +176,9 @@ def parallel_map(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[R
     """
     ins = obs.get()
     record = bool(ins.recording)
-    prepared = [replace(spec, record=record) for spec in specs]
+    ledger = ins.ledger
+    run_id = ledger.run_id if ledger is not None else None
+    prepared = [replace(spec, record=record, ledger_run_id=run_id) for spec in specs]
 
     def _merge(result: RunResult) -> None:
         ins.metrics.merge(result.metrics)
@@ -142,5 +186,7 @@ def parallel_map(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[R
             ins.tracer.absorb(result.trace)
         for decision in result.decisions:
             ins.decisions.record(decision)
+        if ledger is not None:
+            ledger.absorb(result.ledger_records)
 
     return pool_map(execute_spec, prepared, jobs=jobs, label="parallel_map", finalize=_merge)

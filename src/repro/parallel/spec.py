@@ -21,11 +21,13 @@ byte-identical to ``jobs=1``.
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.obs.ledger import make_record
 from repro.arch.acg import ACG
 from repro.arch.presets import mesh_2x2, mesh_3x3, mesh_4x4, mesh_5x5, mesh_6x6
 from repro.baselines.edf import edf_schedule
@@ -138,6 +140,10 @@ class RunSpec:
     record: bool = False
     #: grid-cell identifier, for labels and error reports.
     tag: str = ""
+    #: the parent CLI run's ledger run id (set by the dispatcher when a
+    #: run ledger is active): the worker buffers one ``phase`` record per
+    #: cell under this id and ships it home in ``RunResult``.
+    ledger_run_id: Optional[str] = None
 
 
 @dataclass
@@ -169,6 +175,9 @@ class RunResult:
     trace: Optional[Dict[str, List[Dict[str, Any]]]] = None
     #: decision provenance records when recording.
     decisions: List[TaskDecision] = field(default_factory=list)
+    #: buffered run-ledger records (plain dicts) for the parent to
+    #: append in grid order — the worker never touches the ledger file.
+    ledger_records: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -187,6 +196,28 @@ def execute_spec(spec: RunSpec) -> RunResult:
         headline_counters = bundle.metrics.counter_values()
         report = analyze_schedule(schedule)
         report.register(bundle.metrics, prefix=f"util.{spec.scheduler}.")
+    ledger_records: List[Dict[str, Any]] = []
+    if spec.ledger_run_id is not None:
+        # One ``phase`` cell record per spec, under the *parent's* run
+        # id: the ledger reconstructs the whole grid — which cell, its
+        # exact construction seeds, which worker pid ran it and how long
+        # it took — without workers ever opening the ledger file.
+        ledger_records.append(
+            make_record(
+                "phase",
+                spec.ledger_run_id,
+                name="cell",
+                tag=spec.tag,
+                scheduler=spec.scheduler,
+                benchmark=ctg.name,
+                spec=asdict(spec.benchmark),
+                pid=os.getpid(),
+                runtime_seconds=schedule.runtime_seconds,
+                wall_seconds=time.perf_counter() - wall_started,
+                energy=schedule.total_energy(),
+                misses=len(schedule.deadline_misses()),
+            )
+        )
     return RunResult(
         tag=spec.tag,
         benchmark=ctg.name,
@@ -204,4 +235,5 @@ def execute_spec(spec: RunSpec) -> RunResult:
         metrics=bundle.metrics,
         trace=bundle.tracer.export_records() if spec.record else None,
         decisions=list(bundle.decisions) if spec.record else [],
+        ledger_records=ledger_records,
     )

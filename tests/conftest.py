@@ -10,6 +10,20 @@ from repro.ctg.graph import CTG
 from repro.ctg.task import Task, TaskCosts
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_flight_recorder(monkeypatch):
+    """Keep the suite from appending to the repository's real run ledger.
+
+    Every CLI invocation flight-records by default; hundreds of test
+    invocations must not grow ``RUN_LEDGER.jsonl`` in the repo root or
+    inherit a heartbeat interval from the developer's environment.
+    Ledger-specific tests re-point ``REPRO_LEDGER`` at a tmp path.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "off")
+    monkeypatch.delenv("REPRO_HEARTBEAT", raising=False)
+    monkeypatch.delenv("REPRO_STALL_SECS", raising=False)
+
+
 def make_task(name, time_by_type, energy_by_type=None, deadline=float("inf")):
     """Build a Task from per-type time (and optional energy) dicts."""
     energy_by_type = energy_by_type or {t: v for t, v in time_by_type.items()}

@@ -173,3 +173,58 @@ class TestHarnessTelemetry:
         energy, misses, _ = _telemetry_from_result(rows)
         assert energy == pytest.approx(2.0)
         assert misses == 1
+
+
+class TestCpuCohorts:
+    """cpu_count/jobs provenance and CPU-cohorted baseline comparisons."""
+
+    def _seed(self, store, walls, cpu_count):
+        for wall in walls:
+            store.append(BenchRun(name="b", wall_seconds=wall, cpu_count=cpu_count))
+
+    def test_append_backfills_host_cpu_count(self, store):
+        import os
+
+        store.append(BenchRun(name="b", wall_seconds=1.0))
+        (run,) = store.load("b")
+        assert run["cpu_count"] == os.cpu_count()
+
+    def test_cpu_count_and_jobs_roundtrip(self, store):
+        store.append(BenchRun(name="b", wall_seconds=1.0, cpu_count=8, jobs=4))
+        (run,) = store.load("b")
+        assert run["cpu_count"] == 8
+        assert run["jobs"] == 4
+
+    def test_median_filters_by_cpu_count(self, store):
+        self._seed(store, [10.0, 10.0, 10.0], cpu_count=1)
+        self._seed(store, [1.0, 1.0], cpu_count=8)
+        assert store.median_wall("b", cpu_count=8) == 1.0
+        assert store.median_wall("b", cpu_count=1) == 10.0
+        assert store.median_wall("b") == 10.0  # unfiltered: all records
+
+    def test_check_ignores_other_cpu_cohorts(self, store):
+        # Container history is 10x slower; a 1.1s run on the 8-CPU host
+        # must gate against the 1.0s cohort, not look like a 10x speedup.
+        self._seed(store, [10.0, 10.0, 10.0], cpu_count=1)
+        self._seed(store, [1.0, 1.0, 1.0], cpu_count=8)
+        check = store.check("b", 1.05, cpu_count=8)
+        assert not check.regressed
+        check = store.check("b", 1.5, cpu_count=8)
+        assert check.regressed
+        assert "REGRESSION" in check.describe()
+
+    def test_legacy_records_without_cpu_count_match_any_host(self, store):
+        # Pre-schema histories must keep arming the gate on every host.
+        self._seed(store, [1.0, 1.0, 1.0], cpu_count=7)
+        document = json.loads(store.path_for("b").read_text())
+        for run in document["runs"]:
+            run.pop("cpu_count", None)
+        store.path_for("b").write_text(json.dumps(document))
+        assert store.median_wall("b", cpu_count=8) == 1.0
+        assert store.check("b", 2.0, cpu_count=8).regressed
+
+    def test_no_cohort_baseline_is_not_a_regression(self, store):
+        self._seed(store, [1.0, 1.0, 1.0], cpu_count=1)
+        check = store.check("b", 50.0, cpu_count=8)
+        assert not check.regressed
+        assert "no stored baseline" in check.describe()

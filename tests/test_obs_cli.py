@@ -4,10 +4,14 @@ import json
 
 import pytest
 
+from repro.arch.presets import mesh_2x2
 from repro.cli import main
+from repro.ctg.graph import CTG
 from repro.ctg.multimedia import av_encoder_ctg
 from repro.errors import SchedulingError
 from repro.obs.export import TRACE_SCHEMA_VERSION
+from repro.obs.ledger import read_ledger
+from tests.conftest import make_task
 
 
 class TestProfileFlag:
@@ -111,3 +115,83 @@ class TestSchedulingErrorHandling:
         monkeypatch.setattr("repro.cli.eas_schedule", bad)
         with pytest.raises(RuntimeError):
             main(["schedule", "--system", "encoder"])
+
+
+def _infeasible_benchmark(args):
+    """A CTG whose only task names a PE type no mesh tile provides."""
+    ctg = CTG(name="infeasible")
+    ctg.add_task(make_task("t0", {"fpga": 100}, deadline=1000.0))
+    return ctg, mesh_2x2()
+
+
+class TestInfeasibleRunPostmortem:
+    """A genuinely infeasible CTG dies cleanly AND leaves a ledger record."""
+
+    def test_clean_error_and_run_failed_record(self, capsys, monkeypatch, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        monkeypatch.setattr("repro.cli._build_benchmark", _infeasible_benchmark)
+
+        assert main(["schedule", "--system", "encoder"]) == 1
+
+        captured = capsys.readouterr()
+        error_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("repro-noc: error:")
+        assert "t0" in error_lines[0]
+        assert "cannot run on any PE" in error_lines[0]
+        assert "Traceback" not in captured.err
+
+        records = read_ledger(ledger)
+        assert records[0]["type"] == "run_started"
+        terminal = records[-1]
+        assert terminal["type"] == "run_failed"
+        assert terminal["error"] == (
+            "InfeasibleTaskError: task 't0' cannot run on any PE of the platform"
+        )
+        assert "Traceback" in terminal["traceback"]
+        assert "InfeasibleTaskError" in terminal["traceback"]
+        # partial counter snapshot at death: scheduling began before dying
+        assert isinstance(terminal["metrics"], dict)
+
+    def test_crash_also_leaves_run_failed_record(self, monkeypatch, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+
+        def bad(*args, **kwargs):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr("repro.cli.eas_schedule", bad)
+        with pytest.raises(RuntimeError):
+            main(["schedule", "--system", "encoder"])
+        terminal = read_ledger(ledger)[-1]
+        assert terminal["type"] == "run_failed"
+        assert terminal["error"] == "RuntimeError: worker exploded"
+        assert "worker exploded" in terminal["traceback"]
+
+
+class TestTraceStdoutWithJobs:
+    """--trace - must stay machine-parseable even under a worker pool."""
+
+    def test_every_stdout_line_is_json_and_workers_merge(self, capsys):
+        assert main(["table1", "--jobs", "2", "--trace", "-"]) == 0
+        captured = capsys.readouterr()
+        lines = [ln for ln in captured.out.splitlines() if ln.strip()]
+        records = [json.loads(ln) for ln in lines]  # every line parses
+        assert records[0]["type"] == "meta"
+        # worker-side spans were merged before the single stdout emission
+        spans = [r for r in records if r["type"] == "span"]
+        assert {"level_schedule", "slack_budgeting"} <= {s["name"] for s in spans}
+        # the tables the command normally prints moved to stderr
+        assert "Table 1" in captured.err or "encoder" in captured.err
+        assert "trace:" in captured.err
+
+    def test_trace_stdout_with_heartbeat_stays_clean(self, capsys):
+        assert (
+            main(["table1", "--jobs", "2", "--trace", "-", "--heartbeat", "0.01"]) == 0
+        )
+        captured = capsys.readouterr()
+        for line in captured.out.splitlines():
+            if line.strip():
+                json.loads(line)  # heartbeat lines must not leak to stdout
+        assert "heartbeat:" in captured.err
