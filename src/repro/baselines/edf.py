@@ -74,7 +74,14 @@ def edf_schedule(ctg: CTG, acg: ACG) -> Schedule:
                 finish = start + cost.time
                 if record_decisions:
                     candidates.append(
-                        Candidate(pe=pe.index, finish=finish, energy=cost.energy)
+                        Candidate(
+                            pe=pe.index,
+                            finish=finish,
+                            energy=cost.energy,
+                            start=start,
+                            drt=drt,
+                            compute_energy=cost.energy,
+                        )
                     )
                 # Performance-greedy: earliest finish; energy is NOT considered.
                 key = (finish, start, pe.index)
@@ -93,6 +100,7 @@ def edf_schedule(ctg: CTG, acg: ACG) -> Schedule:
                     start=placement.start,
                     finish=placement.finish,
                     energy=placement.energy,
+                    chosen=next((c for c in candidates if c.pe == best_pe), None),
                     candidates=[c for c in candidates if c.pe != best_pe],
                 )
                 ins.decisions.record(decision)

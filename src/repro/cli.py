@@ -294,11 +294,91 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10,
         help="max entries per bounded section (failures, phases, cells)",
     )
+    p.add_argument(
+        "--prune-ledger",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate the run ledger first: keep only the last N runs "
+        "(atomic rewrite under the benchstore lockfile)",
+    )
     p.set_defaults(handler=_handle_report)
+
+    p = sub.add_parser(
+        "explain",
+        help="schedule one benchmark and explain it: critical path, "
+        "per-task F(i,k) decision breakdowns, energy attribution",
+    )
+    _add_benchmark_arguments(p)
+    p.add_argument(
+        "--task",
+        default=None,
+        metavar="NAME",
+        help="focus on one task: anchor the critical path at it and "
+        "explain only its placement decision",
+    )
+    p.add_argument(
+        "--load",
+        metavar="FILE",
+        default=None,
+        help="explain a saved schedule JSON (from `schedule --save`) "
+        "instead of scheduling; the benchmark flags must still name the "
+        "same CTG/platform",
+    )
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "json"],
+        help="output rendering",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="-",
+        help="output path ('-' = stdout, the default)",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="independently recompute every recorded F(i,k) component "
+        "on fresh resource tables and fail on any mismatch",
+    )
+    p.set_defaults(handler=_handle_explain)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential diagnostics between two schedules of the same "
+        "benchmark: placement moves (root-cause vs cascade), exact "
+        "energy/tardiness attribution deltas, ledger telemetry deltas",
+    )
+    p.add_argument(
+        "a",
+        help="first endpoint: a saved schedule JSON, `run:<ledger-run-id>`, "
+        "or a spec string like `algorithm=eas,cache=off` overriding the "
+        "benchmark flags",
+    )
+    p.add_argument(
+        "b",
+        help="second endpoint (same forms as the first)",
+    )
+    _add_benchmark_arguments(p)
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "json"],
+        help="output rendering",
+    )
+    p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="-",
+        help="output path ('-' = stdout, the default)",
+    )
+    p.set_defaults(handler=_handle_diff)
 
     # Parallel execution, on the subcommands that run whole grids (the
     # evalx figures/tables) or repair portfolios (schedule).
-    for name in ("fig5", "fig6", "table1", "table2", "table3", "schedule"):
+    for name in ("fig5", "fig6", "table1", "table2", "table3", "schedule", "diff"):
         group = sub.choices[name].add_argument_group("parallel execution")
         group.add_argument(
             "--jobs",
@@ -595,6 +675,27 @@ def _handle_report(args) -> int:
     from repro.obs.report import build_report, format_report
 
     ledger_path = resolve_ledger_path(getattr(args, "ledger", None))
+    if args.prune_ledger is not None:
+        if ledger_path is None:
+            print("repro-noc: error: no run ledger to prune", file=sys.stderr)
+            return 1
+        from repro.obs.ledger import prune_ledger
+
+        active_run = obs.get().ledger
+        try:
+            pruned = prune_ledger(
+                ledger_path,
+                args.prune_ledger,
+                preserve=[active_run.run_id] if active_run is not None else [],
+            )
+        except LedgerError as exc:
+            print(f"repro-noc: error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"ledger pruned: kept {pruned['runs_kept']}/{pruned['runs_before']} runs "
+            f"({pruned['records_kept']}/{pruned['records_before']} records)",
+            file=sys.stderr,
+        )
     active = obs.get().ledger
     report = build_report(
         bench_dir=args.bench_dir,
@@ -605,6 +706,270 @@ def _handle_report(args) -> int:
     )
     print(format_report(report, args.format))
     return 0
+
+
+def _write_payload(args, payload: str, summary: str) -> int:
+    """Write ``payload`` to ``args.out`` ('-' = stdout), report on stderr."""
+    if args.out == "-":
+        sys.stdout.write(payload)
+        return 0
+    try:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+    except OSError as exc:
+        print(f"repro-noc: error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{summary} -> {args.out}", file=sys.stderr)
+    return 0
+
+
+def _schedule_with_provenance(args):
+    """Run the selected scheduler with decision recording forced on."""
+    from contextlib import nullcontext as _nullcontext
+
+    ctg, acg = _build_benchmark(args)
+    instrumentation = obs.get()
+    context = _nullcontext(instrumentation)
+    if not instrumentation.recording:
+        instrumentation = obs.Instrumentation.enabled()
+        context = obs.activate(instrumentation)
+    with context:
+        schedule = _run_selected_scheduler(args, ctg, acg, report_dvs=False)
+    return ctg, acg, schedule
+
+
+def _handle_explain(args) -> int:
+    from repro.obs.explain import (
+        explain_schedule,
+        format_explain,
+        verify_decision_components,
+    )
+
+    if args.load:
+        from repro.errors import SerializationError
+        from repro.schedule.serialization import schedule_from_json
+
+        ctg, acg = _build_benchmark(args)
+        try:
+            with open(args.load) as handle:
+                schedule = schedule_from_json(handle.read(), ctg, acg)
+        except (OSError, SerializationError) as exc:
+            print(f"repro-noc: error: cannot load {args.load}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        ctg, acg, schedule = _schedule_with_provenance(args)
+
+    if args.verify:
+        if not schedule.provenance:
+            print(
+                "repro-noc: error: no decision provenance to verify "
+                "(the loaded schedule predates format v2?)",
+                file=sys.stderr,
+            )
+            return 1
+        mismatches = verify_decision_components(ctg, acg, schedule.provenance)
+        if mismatches:
+            for line in mismatches:
+                print(f"verify: MISMATCH {line}", file=sys.stderr)
+            return 1
+        print(
+            f"verify: all F(i,k) components exact "
+            f"({len(schedule.provenance)} decisions)",
+            file=sys.stderr,
+        )
+
+    try:
+        report = explain_schedule(schedule, focus=args.task)
+    except KeyError as exc:
+        print(f"repro-noc: error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    payload = format_explain(report, args.format)
+    if not payload.endswith("\n"):
+        payload += "\n"
+    return _write_payload(args, payload, f"explain: {schedule.summary()}")
+
+
+def _resolve_diff_endpoint(token: str, args):
+    """One diff endpoint -> ('file', path) | ('run', run_id) | ('spec', RunSpec).
+
+    A token naming an existing file is a saved schedule; ``run:<id>`` (or
+    a bare id present in the ledger) rebuilds the benchmark from that
+    run's recorded parameters; anything else parses as a
+    ``key=value,...`` spec string overriding the benchmark flags.
+    """
+    import os as _os
+
+    from repro.obs.ledger import group_runs, read_ledger
+
+    if _os.path.exists(token):
+        return ("file", token)
+    run_id = token[len("run:") :] if token.startswith("run:") else None
+    if run_id is None:
+        ledger_path = resolve_ledger_path(getattr(args, "ledger", None))
+        if ledger_path is not None and "=" not in token:
+            if token in group_runs(read_ledger(ledger_path)):
+                run_id = token
+    if run_id is not None:
+        return ("run", run_id)
+    return ("spec", _parse_endpoint_spec(token, args))
+
+
+def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = None):
+    """A ``key=value,...`` spec string (or ledger params) -> RunSpec."""
+    from repro.parallel.spec import MSB_SYSTEMS, BenchmarkSpec, RunSpec
+
+    fields: Dict[str, Any] = {
+        "algorithm": args.algorithm,
+        "system": args.system,
+        "clip": args.clip,
+        "category": args.category,
+        "index": args.index,
+        "n_tasks": args.n_tasks,
+        "cache": not getattr(args, "no_eval_cache", False),
+    }
+    if params is not None:
+        for key in ("algorithm", "system", "clip", "category", "index", "n_tasks"):
+            if params.get(key) is not None:
+                fields[key] = params[key]
+        if params.get("no_eval_cache") is not None:
+            fields["cache"] = not params["no_eval_cache"]
+    elif token:
+        for part in token.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"diff endpoint {token!r}: expected key=value, got {part!r}"
+                )
+            key, value = (s.strip() for s in part.split("=", 1))
+            if key in ("category", "index", "n_tasks"):
+                fields[key] = int(value)
+            elif key == "cache":
+                fields[key] = value.lower() in ("1", "on", "true", "yes")
+            elif key in ("algorithm", "system", "clip"):
+                fields[key] = value
+            else:
+                raise ValueError(f"diff endpoint {token!r}: unknown key {key!r}")
+    if fields["system"] == "random":
+        benchmark = BenchmarkSpec(
+            kind="random",
+            category=int(fields["category"]),
+            index=int(fields["index"]),
+            n_tasks=int(fields["n_tasks"]),
+            acg_preset="mesh_4x4",
+            shuffle_seed=100 + int(fields["index"]),
+        )
+    else:
+        if fields["system"] not in MSB_SYSTEMS:
+            raise ValueError(f"diff endpoint {token!r}: unknown system {fields['system']!r}")
+        benchmark = BenchmarkSpec(
+            kind="msb",
+            system=fields["system"],
+            clip=fields["clip"],
+            acg_preset=MSB_SYSTEMS[fields["system"]][1],
+        )
+    return RunSpec(
+        scheduler=fields["algorithm"],
+        benchmark=benchmark,
+        eas_config=EASConfig(use_cache=bool(fields["cache"])),
+        tag=token or "default",
+    )
+
+
+def _handle_diff(args) -> int:
+    from repro.errors import SerializationError
+    from repro.evalx.experiments import schedules_for_specs
+    from repro.obs.diff import diff_schedules, format_diff, run_delta
+    from repro.obs.ledger import read_ledger
+    from repro.schedule.serialization import schedule_from_json
+
+    try:
+        resolved = [_resolve_diff_endpoint(tok, args) for tok in (args.a, args.b)]
+    except ValueError as exc:
+        print(f"repro-noc: error: {exc}", file=sys.stderr)
+        return 1
+
+    ledger_records = None
+    run_ids: List[Optional[str]] = [None, None]
+    if any(kind == "run" for kind, _ in resolved):
+        ledger_path = resolve_ledger_path(getattr(args, "ledger", None))
+        ledger_records = read_ledger(ledger_path) if ledger_path is not None else []
+
+    # Turn run endpoints into specs from their recorded parameters.
+    endpoints: List[Any] = []
+    for position, (kind, value) in enumerate(resolved):
+        if kind == "run":
+            started = next(
+                (
+                    r
+                    for r in ledger_records or []
+                    if r.get("type") == "run_started" and r.get("run_id") == value
+                ),
+                None,
+            )
+            if started is None:
+                print(
+                    f"repro-noc: error: run {value!r} has no run_started record "
+                    "in the ledger",
+                    file=sys.stderr,
+                )
+                return 1
+            params = started.get("params") or {}
+            if "algorithm" not in params:
+                print(
+                    f"repro-noc: error: run {value!r} "
+                    f"(command {started.get('command')!r}) does not describe a "
+                    "single schedule; diff `schedule`/`inspect`/`explain` runs",
+                    file=sys.stderr,
+                )
+                return 1
+            run_ids[position] = value
+            endpoints.append(("spec", _parse_endpoint_spec("", args, params=params)))
+        else:
+            endpoints.append((kind, value))
+
+    specs = [value for kind, value in endpoints if kind == "spec"]
+    computed = iter(
+        schedules_for_specs(specs, jobs=getattr(args, "jobs", None)) if specs else []
+    )
+    schedules = []
+    for kind, value in endpoints:
+        if kind == "file":
+            ctg, acg = _build_benchmark(args)
+            try:
+                with open(value) as handle:
+                    schedules.append(schedule_from_json(handle.read(), ctg, acg))
+            except (OSError, SerializationError) as exc:
+                print(f"repro-noc: error: cannot load {value}: {exc}", file=sys.stderr)
+                return 1
+        else:
+            schedules.append(next(computed))
+
+    try:
+        diff = diff_schedules(schedules[0], schedules[1], label_a=args.a, label_b=args.b)
+    except ValueError as exc:
+        print(f"repro-noc: error: {exc}", file=sys.stderr)
+        return 1
+
+    runs = None
+    if run_ids[0] is not None and run_ids[1] is not None:
+        per_run = {run_id: [] for run_id in run_ids}
+        for record in ledger_records or []:
+            if record.get("run_id") in per_run:
+                per_run[record["run_id"]].append(record)
+        runs = run_delta(
+            run_ids[0], per_run[run_ids[0]], run_ids[1], per_run[run_ids[1]]
+        )
+
+    payload = format_diff(diff, args.format, runs=runs)
+    if not payload.endswith("\n"):
+        payload += "\n"
+    return _write_payload(
+        args,
+        payload,
+        f"diff: {len(diff.moves)} moves, {len(diff.root_causes())} root-cause",
+    )
 
 
 def _handle_export_ctg(args) -> int:

@@ -148,6 +148,28 @@ def _windows_conflict(
     return False
 
 
+def _candidate_from_eval(evaluation: _Evaluation, bd: float) -> Candidate:
+    """The schema-v2 component breakdown of one F(i,k) evaluation.
+
+    ``evaluation.energy`` already folds in the communication energy of
+    the task's inputs, so the compute share is recovered by subtracting
+    the transaction energies; ``slack`` is the margin the placement
+    would leave against the Step-1 budgeted deadline.
+    """
+    comm_energy = sum(c.energy for c in evaluation.comms)
+    return Candidate(
+        pe=evaluation.pe,
+        finish=evaluation.finish,
+        energy=evaluation.energy,
+        start=evaluation.start,
+        drt=evaluation.drt,
+        compute_energy=evaluation.energy - comm_energy,
+        comm_energy=comm_energy,
+        hops=sum(len(c.links) for c in evaluation.comms),
+        slack=bd - evaluation.finish,
+    )
+
+
 @dataclass
 class _SelectionOutcome:
     """Why the Step-2 selection picked its (task, PE) pair."""
@@ -450,6 +472,7 @@ class LevelBasedScheduler:
                 if outcome.rescue:
                     rescue_counter.inc()
                 if record_decisions:
+                    bd = self.budgets[chosen_task].budgeted_deadline
                     decision = TaskDecision(
                         task=chosen_task,
                         pe=chosen_pe,
@@ -459,8 +482,10 @@ class LevelBasedScheduler:
                         start=placement.start,
                         finish=placement.finish,
                         energy=placement.energy,
+                        bd=bd,
+                        chosen=_candidate_from_eval(chosen_eval, bd),
                         candidates=[
-                            Candidate(pe=ev.pe, finish=ev.finish, energy=ev.energy)
+                            _candidate_from_eval(ev, bd)
                             for pe_index, ev in sorted(evaluations[chosen_task].items())
                             if pe_index != chosen_pe
                         ],

@@ -301,6 +301,39 @@ def run_repair_runtime(
     return rows
 
 
+# -- diff support ---------------------------------------------------------------------
+
+
+def schedules_for_specs(
+    specs: Sequence[RunSpec], jobs: Optional[int] = None
+) -> List[Schedule]:
+    """Run ``specs`` (pooled via ``jobs``) and return the full schedules.
+
+    The engine behind in-process ``repro-noc diff`` endpoints: each spec
+    is forced to record decision provenance and ship its committed
+    schedule home as a serialized document; the parent rebuilds it
+    against a locally-built CTG/ACG pair.  The serialize/rebuild
+    roundtrip is float-exact and the rebuild order is spec order, so
+    ``jobs=2`` yields schedules identical to ``jobs=1``.
+    """
+    from dataclasses import replace
+
+    from repro.schedule.serialization import schedule_from_dict
+
+    prepared = [replace(spec, record=True, return_schedule=True) for spec in specs]
+    results = parallel_map(prepared, jobs=jobs)
+    schedules: List[Schedule] = []
+    for spec, result in zip(prepared, results):
+        if result.schedule_doc is None:
+            raise ValueError(f"spec {spec.tag!r} returned no schedule document")
+        ctg, acg = spec.benchmark.build()
+        schedule = schedule_from_dict(result.schedule_doc, ctg, acg)
+        if not schedule.provenance and result.decisions:
+            schedule.provenance = list(result.decisions)
+        schedules.append(schedule)
+    return schedules
+
+
 # -- shared helpers -------------------------------------------------------------------
 
 

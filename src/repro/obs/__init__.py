@@ -24,7 +24,17 @@ Typical use::
     print(obs.export.format_profile(ins))
 """
 
-from repro.obs import benchstore, export, heartbeat, ledger, report, timeline, utilization
+from repro.obs import (
+    benchstore,
+    diff,
+    explain,
+    export,
+    heartbeat,
+    ledger,
+    report,
+    timeline,
+    utilization,
+)
 from repro.obs.benchstore import BenchRun, BenchStore, RegressionCheck
 from repro.obs.context import (
     Instrumentation,
@@ -34,8 +44,10 @@ from repro.obs.context import (
     timed_phase,
 )
 from repro.obs.decisions import Candidate, DecisionLog, TaskDecision
+from repro.obs.diff import ScheduleDiff, diff_schedules, format_diff
+from repro.obs.explain import ExplainReport, critical_path, explain_schedule, format_explain
 from repro.obs.heartbeat import Heartbeat
-from repro.obs.ledger import RUN_LEDGER_SCHEMA_VERSION, RunLedger, read_ledger
+from repro.obs.ledger import RUN_LEDGER_SCHEMA_VERSION, RunLedger, prune_ledger, read_ledger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import build_report, format_report
 from repro.obs.timeline import chrome_trace, write_chrome_trace
@@ -49,6 +61,7 @@ __all__ = [
     "Counter",
     "DecisionLog",
     "Event",
+    "ExplainReport",
     "Gauge",
     "Heartbeat",
     "Histogram",
@@ -60,6 +73,7 @@ __all__ = [
     "RUN_LEDGER_SCHEMA_VERSION",
     "RegressionCheck",
     "RunLedger",
+    "ScheduleDiff",
     "Span",
     "TaskDecision",
     "Tracer",
@@ -69,11 +83,19 @@ __all__ = [
     "benchstore",
     "build_report",
     "chrome_trace",
+    "critical_path",
+    "diff",
+    "diff_schedules",
+    "explain",
+    "explain_schedule",
     "export",
+    "format_diff",
+    "format_explain",
     "format_report",
     "get",
     "heartbeat",
     "ledger",
+    "prune_ledger",
     "read_ledger",
     "report",
     "timed_phase",

@@ -25,6 +25,7 @@ threads, so all progress state is guarded by one lock.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import threading
@@ -147,8 +148,14 @@ class Heartbeat:
             walls = list(self._cell_walls)
             idle = now - self._last_progress_at if self._last_progress_at else 0.0
         eta: Optional[float] = None
-        if walls and total > done:
-            eta = (sum(walls) / len(walls)) * (total - done) / workers
+        if total > done:
+            # Only finite samples extrapolate; a poisoned (inf/nan) wall
+            # must not produce a non-JSON ETA that kills the ledger append.
+            finite = [w for w in walls if math.isfinite(w)]
+            if finite:
+                eta = (sum(finite) / len(finite)) * (total - done) / workers
+                if not math.isfinite(eta):
+                    eta = None
         phases = obs_context.get().tracer.open_span_names()
         stalled = bool(total > done and self.stall_window and idle > self.stall_window)
         return {
@@ -167,6 +174,9 @@ class Heartbeat:
             parts.append(f"cells {snap['cells_done']}/{snap['cells_total']}")
         if snap["eta_seconds"] is not None:
             parts.append(f"eta {snap['eta_seconds']:.0f}s")
+        elif snap["cells_total"] and snap["cells_done"] < snap["cells_total"]:
+            # Grid running but no completed cell to extrapolate from yet.
+            parts.append("eta ?")
         if snap["phase"]:
             parts.append(f"phase {snap['phase']}")
         line = ", ".join(parts)

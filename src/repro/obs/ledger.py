@@ -48,7 +48,7 @@ import sys
 import traceback as traceback_module
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.errors import LedgerError
 from repro.obs.benchstore import current_git_rev, exclusive_lock
@@ -250,6 +250,76 @@ class RunLedger:
         """Last-chance terminal record for runs abandoned without one."""
         if self._started and not self._closed:
             self.run_failed(reason="process exited without a terminal record")
+
+
+def prune_ledger(
+    path: Union[str, Path], keep: int, preserve: Iterable[str] = ()
+) -> Dict[str, int]:
+    """Rotate the ledger: keep only the last ``keep`` runs' records.
+
+    Rewrites the file atomically (temp file + ``os.replace``) under the
+    same cross-process lockfile the writers use, so a concurrent append
+    either lands before the rewrite (and is subject to pruning) or after
+    it (and survives) — never inside a torn file.  Unparseable lines are
+    dropped (they are invisible to every reader anyway).  Run ids in
+    ``preserve`` (e.g. the still-open run doing the pruning) always
+    survive and do not consume the ``keep`` budget or appear in the
+    returned statistics.
+
+    Returns ``{"runs_before", "runs_kept", "records_before",
+    "records_kept"}``, counted over the prunable (non-preserved) runs.
+
+    Raises:
+        LedgerError: ``keep`` is negative or the rewrite fails.
+    """
+    if keep < 0:
+        raise LedgerError(f"--prune-ledger expects a non-negative count, got {keep}")
+    path = Path(path)
+    preserved = {str(run_id) for run_id in preserve}
+    try:
+        with exclusive_lock(path):
+            records = read_ledger(path)
+            order: List[str] = []
+            for record in records:
+                run_id = str(record.get("run_id", "?"))
+                if run_id not in preserved and run_id not in order:
+                    order.append(run_id)
+            kept_ids = set(order[-keep:]) if keep else set()
+            prunable = [
+                r for r in records if str(r.get("run_id", "?")) not in preserved
+            ]
+            kept_prunable = [
+                r for r in prunable if str(r.get("run_id", "?")) in kept_ids
+            ]
+            kept = [
+                r
+                for r in records
+                if str(r.get("run_id", "?")) in kept_ids
+                or str(r.get("run_id", "?")) in preserved
+            ]
+            tmp = path.with_name(path.name + ".tmp")
+            with open(tmp, "w") as handle:
+                for record in kept:
+                    handle.write(json.dumps(record, allow_nan=False, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+    except (OSError, TimeoutError, ValueError) as exc:
+        raise LedgerError(f"cannot prune run ledger {path}: {exc}") from exc
+    return {
+        "runs_before": len(order),
+        "runs_kept": len(kept_ids),
+        "records_before": len(prunable),
+        "records_kept": len(kept_prunable),
+    }
+
+
+def ledger_size_bytes(path: Union[str, Path]) -> int:
+    """On-disk ledger size (0 when absent) — feeds the report warning."""
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return 0
 
 
 def read_ledger(path: Union[str, Path]) -> List[Dict[str, Any]]:

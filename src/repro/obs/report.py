@@ -27,10 +27,14 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.benchstore import DEFAULT_THRESHOLD, BenchStore, cpu_comparable
-from repro.obs.ledger import group_runs, iter_failures, read_ledger
+from repro.obs.diff import run_delta
+from repro.obs.ledger import group_runs, iter_failures, ledger_size_bytes, read_ledger
 
 #: how many failures / phases / cells a bounded section keeps.
 DEFAULT_LIMIT = 10
+
+#: ledger size above which the report suggests ``--prune-ledger``.
+LEDGER_WARN_BYTES = 5 * 1024 * 1024
 
 
 def build_report(
@@ -58,6 +62,9 @@ def build_report(
         "slow_phases": [],
         "slow_cells": [],
         "runs": {"total": 0, "finished": 0, "failed": 0, "open": 0},
+        "ledger_bytes": 0,
+        "ledger_warning": None,
+        "run_delta": None,
     }
     report["regressions"] = [
         row["benchmark"] for row in report["benchmarks"] if row["regressed"]
@@ -70,6 +77,13 @@ def build_report(
         report["slow_phases"] = _slow_phases(records, limit)
         report["slow_cells"] = _slow_cells(records, limit)
         report["runs"] = _run_stats(records, exclude_run_id)
+        report["run_delta"] = _last_run_delta(records, exclude_run_id)
+        report["ledger_bytes"] = ledger_size_bytes(ledger_path)
+        if report["ledger_bytes"] > LEDGER_WARN_BYTES:
+            report["ledger_warning"] = (
+                f"ledger is {report['ledger_bytes'] / 1e6:.1f} MB; "
+                f"consider `repro-noc report --prune-ledger N` to rotate it"
+            )
     return report
 
 
@@ -158,6 +172,34 @@ def _slow_cells(records: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any
     ]
     cells.sort(key=lambda cell: -cell["runtime_seconds"])
     return cells[:limit]
+
+
+def _last_run_delta(
+    records: List[Dict[str, Any]], exclude_run_id: Optional[str]
+) -> Optional[Dict[str, Any]]:
+    """Telemetry delta: latest finished run vs the previous one of the
+    same command — "did my last invocation get slower" at a glance."""
+    runs = group_runs(records)
+    runs.pop(exclude_run_id, None)
+    finished = [
+        (run_id, run)
+        for run_id, run in runs.items()
+        if run["terminal"] is not None
+        and run["terminal"].get("type") == "run_finished"
+    ]
+    if len(finished) < 2:
+        return None
+    last_id, last = finished[-1]
+    command = (last["started"] or {}).get("command")
+    for prev_id, prev in reversed(finished[:-1]):
+        if (prev["started"] or {}).get("command") == command:
+            flat_prev = [prev["started"] or {}, prev["terminal"], *prev["phases"]]
+            flat_last = [last["started"] or {}, last["terminal"], *last["phases"]]
+            delta = run_delta(prev_id, flat_prev, last_id, flat_last)
+            document = delta.to_dict()
+            document["command"] = command
+            return document
+    return None
 
 
 def _run_stats(records: List[Dict[str, Any]], exclude_run_id: Optional[str]) -> Dict[str, int]:
@@ -254,7 +296,38 @@ def _format_text(report: Dict[str, Any]) -> str:
         for cell in report["slow_cells"]:
             label = cell["tag"] or f"{cell['benchmark']}:{cell['scheduler']}"
             lines.append(f"  {label}  {cell['runtime_seconds'] * 1e3:.1f} ms")
+
+    delta = report.get("run_delta")
+    if delta:
+        lines.append(
+            f"== last `{delta.get('command', '?')}` vs previous "
+            f"({delta['run_a']} -> {delta['run_b']}) =="
+        )
+        lines.extend(_delta_lines(delta))
+    warning = report.get("ledger_warning")
+    if warning:
+        lines.append(f"WARNING: {warning}")
     return "\n".join(lines)
+
+
+def _delta_lines(delta: Dict[str, Any]) -> List[str]:
+    def fmt(pair: List[Any], unit: str) -> str:
+        def one(v: Any) -> str:
+            return "-" if v is None else f"{v:g}{unit}"
+
+        text = f"{one(pair[0])} -> {one(pair[1])}"
+        if pair[0] is not None and pair[1] is not None:
+            text += f" ({pair[1] - pair[0]:+g}{unit})"
+        return text
+
+    lines = []
+    for name, pair in delta.get("phase_walls", {}).items():
+        lines.append(f"  wall  {name:<24} {fmt(pair, 's')}")
+    for name, pair in delta.get("counters", {}).items():
+        lines.append(f"  count {name:<24} {fmt(pair, '')}")
+    if not lines:
+        lines.append("  (no comparable telemetry)")
+    return lines
 
 
 def _format_markdown(report: Dict[str, Any]) -> str:
@@ -292,6 +365,19 @@ def _format_markdown(report: Dict[str, Any]) -> str:
             )
     else:
         lines.append("_no span telemetry ledgered_")
+    delta = report.get("run_delta")
+    if delta:
+        lines += [
+            "",
+            f"## Last `{delta.get('command', '?')}` vs previous",
+            "",
+            "```",
+            *_delta_lines(delta),
+            "```",
+        ]
+    warning = report.get("ledger_warning")
+    if warning:
+        lines += ["", f"**WARNING:** {warning}"]
     return "\n".join(lines)
 
 

@@ -334,6 +334,22 @@ def analyze_schedule(
     )
 
 
+def task_energy_attribution(schedule: "Schedule") -> Dict[str, float]:
+    """Exact per-task energy shares: computation + *inbound* comm energy.
+
+    Every transaction's energy is attributed to its receiving task (the
+    placement the Fig. 3 pass belongs to), so the shares sum exactly to
+    ``schedule.total_energy()`` — the invariant ``repro-noc diff`` uses
+    to guarantee its per-task energy deltas tile the total delta.
+    """
+    shares: Dict[str, float] = {
+        name: placement.energy for name, placement in schedule.task_placements.items()
+    }
+    for (_, dst), comm in schedule.comm_placements.items():
+        shares[dst] = shares.get(dst, 0.0) + comm.energy
+    return shares
+
+
 def _input_ready_times(schedule: "Schedule") -> Dict[str, float]:
     """Per task: when its last incoming transaction delivered.
 

@@ -178,7 +178,12 @@ def parallel_map(specs: Sequence[RunSpec], jobs: Optional[int] = None) -> List[R
     record = bool(ins.recording)
     ledger = ins.ledger
     run_id = ledger.run_id if ledger is not None else None
-    prepared = [replace(spec, record=record, ledger_run_id=run_id) for spec in specs]
+    # A spec that explicitly asked for recording keeps it (``repro-noc
+    # diff`` needs decision provenance even without global --decisions).
+    prepared = [
+        replace(spec, record=record or spec.record, ledger_run_id=run_id)
+        for spec in specs
+    ]
 
     def _merge(result: RunResult) -> None:
         ins.metrics.merge(result.metrics)

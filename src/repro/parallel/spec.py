@@ -39,6 +39,7 @@ from repro.obs.decisions import TaskDecision
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.utilization import analyze_schedule
 from repro.schedule.schedule import Schedule
+from repro.schedule.serialization import schedule_to_dict
 
 #: ACG presets addressable by name (names are what travels in a spec).
 ACG_PRESETS = {
@@ -144,6 +145,10 @@ class RunSpec:
     #: run ledger is active): the worker buffers one ``phase`` record per
     #: cell under this id and ships it home in ``RunResult``.
     ledger_run_id: Optional[str] = None
+    #: ship the full committed schedule back as a serialized document
+    #: (set by ``repro-noc diff`` when both endpoints are computed
+    #: in-process); costs one ``schedule_to_dict`` per cell.
+    return_schedule: bool = False
 
 
 @dataclass
@@ -178,6 +183,11 @@ class RunResult:
     #: buffered run-ledger records (plain dicts) for the parent to
     #: append in grid order — the worker never touches the ledger file.
     ledger_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: serialized schedule document (``schedule_to_dict``) when the spec
+    #: asked for it; the parent rebuilds with ``schedule_from_dict``
+    #: against a locally-built CTG/ACG pair — the roundtrip is
+    #: float-exact, so diffing pooled results equals diffing in-process.
+    schedule_doc: Optional[Dict[str, Any]] = None
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -236,4 +246,5 @@ def execute_spec(spec: RunSpec) -> RunResult:
         trace=bundle.tracer.export_records() if spec.record else None,
         decisions=list(bundle.decisions) if spec.record else [],
         ledger_records=ledger_records,
+        schedule_doc=schedule_to_dict(schedule) if spec.return_schedule else None,
     )

@@ -17,15 +17,21 @@ from repro.arch.acg import ACG
 from repro.arch.topology import Link
 from repro.ctg.graph import CTG
 from repro.errors import SerializationError
+from repro.obs.decisions import TaskDecision
 from repro.schedule.entries import CommPlacement, TaskPlacement
 from repro.schedule.schedule import Schedule
 
-FORMAT_VERSION = 1
+#: v2 embeds the decision provenance (schema-v2 records) when present,
+#: so a saved schedule can still explain itself and ``repro-noc diff``
+#: can classify movers; v1 documents load unchanged (empty provenance).
+FORMAT_VERSION = 2
+
+_READABLE_VERSIONS = (1, 2)
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     """Plain-dict representation of a schedule."""
-    return {
+    document: Dict[str, Any] = {
         "format": "repro-schedule",
         "version": FORMAT_VERSION,
         "algorithm": schedule.algorithm,
@@ -60,6 +66,9 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
             )
         ],
     }
+    if schedule.provenance:
+        document["provenance"] = [d.to_dict() for d in schedule.provenance]
+    return document
 
 
 def schedule_from_dict(data: Dict[str, Any], ctg: CTG, acg: ACG) -> Schedule:
@@ -74,7 +83,7 @@ def schedule_from_dict(data: Dict[str, Any], ctg: CTG, acg: ACG) -> Schedule:
             raise SerializationError(
                 f"not a repro-schedule document: format={data.get('format')!r}"
             )
-        if data.get("version") != FORMAT_VERSION:
+        if data.get("version") not in _READABLE_VERSIONS:
             raise SerializationError(f"unsupported version {data.get('version')!r}")
         if data["ctg"] != ctg.name:
             raise SerializationError(
@@ -115,6 +124,9 @@ def schedule_from_dict(data: Dict[str, Any], ctg: CTG, acg: ACG) -> Schedule:
                     energy=float(entry["energy"]),
                 )
             )
+        schedule.provenance = [
+            TaskDecision.from_dict(entry) for entry in data.get("provenance", [])
+        ]
         return schedule
     except SerializationError:
         raise

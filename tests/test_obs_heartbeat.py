@@ -1,6 +1,7 @@
 """Tests for the heartbeat monitor (obs.heartbeat)."""
 
 import io
+import json
 import time
 
 import pytest
@@ -78,6 +79,46 @@ class TestSnapshot:
         monitor = make_monitor(clock)
         monitor.grid_started(6)
         assert monitor.snapshot()["eta_seconds"] is None
+
+    def test_eta_unknown_rendered_as_question_mark(self, clock):
+        # A grid with zero completed cells has no sample to extrapolate
+        # from: the line must say "eta ?", not divide by zero or vanish.
+        monitor = make_monitor(clock)
+        monitor._started_at = clock.now
+        monitor.grid_started(6, workers=2)
+        snap = monitor.snapshot()
+        assert snap["eta_seconds"] is None
+        assert "eta ?" in monitor.describe(snap)
+        # Once a cell completes, the real ETA replaces the placeholder.
+        monitor.cell_done(wall_seconds=2.0)
+        snap = monitor.snapshot()
+        assert snap["eta_seconds"] is not None
+        described = monitor.describe(snap)
+        assert "eta ?" not in described
+        assert "eta " in described
+
+    def test_completed_grid_shows_no_eta_placeholder(self, clock):
+        monitor = make_monitor(clock)
+        monitor.grid_started(2)
+        monitor.cell_done()
+        monitor.cell_done()
+        assert "eta" not in monitor.describe(monitor.snapshot())
+
+    def test_non_finite_cell_walls_never_poison_eta(self, clock):
+        # An inf wall (a worker clock gone mad) must not produce an inf
+        # ETA — json.dumps(allow_nan=False) in the ledger would raise and
+        # kill the monitor thread.
+        monitor = make_monitor(clock)
+        monitor.grid_started(4)
+        monitor.cell_done(wall_seconds=float("inf"))
+        snap = monitor.snapshot()
+        assert snap["eta_seconds"] is None
+        assert "eta ?" in monitor.describe(snap)
+        json.dumps(snap, allow_nan=False)  # ledger-appendable
+        # A finite sample alongside the poisoned one still extrapolates.
+        monitor.cell_done(wall_seconds=2.0)
+        snap = monitor.snapshot()
+        assert snap["eta_seconds"] == 4.0  # 2s finite mean x 2 remaining / 1 worker
 
     def test_phase_comes_from_open_tracer_spans(self, clock):
         monitor = make_monitor(clock)

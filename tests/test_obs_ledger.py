@@ -12,8 +12,10 @@ from repro.obs.ledger import (
     RunLedger,
     group_runs,
     iter_failures,
+    ledger_size_bytes,
     make_record,
     new_run_id,
+    prune_ledger,
     read_ledger,
     resolve_ledger_path,
 )
@@ -129,6 +131,36 @@ class TestCrashSafety:
             "run_finished",
         ]
 
+    def test_process_exiting_mid_run_leaves_run_failed(self, ledger_path):
+        """The real atexit path: a subprocess opens a run, then exits
+        without ever writing a terminal record.  The interpreter's
+        atexit machinery must leave the ``run_failed`` fallback."""
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.obs.ledger import RunLedger\n"
+            f"ledger = RunLedger({str(ledger_path)!r}, run_id='abandoned')\n"
+            "ledger.run_started(command='fig5')\n"
+            "ledger.phase('cell', tag='half-done')\n"
+            "sys.exit(3)  # bail mid-run: no run_finished/run_failed\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 3, proc.stderr
+        records = read_ledger(ledger_path)
+        assert [r["type"] for r in records] == ["run_started", "phase", "run_failed"]
+        terminal = records[-1]
+        assert terminal["run_id"] == "abandoned"
+        assert "without a terminal record" in terminal["reason"]
+
 
 def _append_from_process(path, worker, count):
     ledger = RunLedger(path, run_id=f"run-{worker}")
@@ -184,6 +216,76 @@ class TestGrouping:
         assert failure["command"] == "schedule"
         assert failure["argv"] == ["schedule", "--system", "encoder"]
         assert "worker hung" in failure["error"]
+
+
+class TestPruning:
+    def _three_runs(self, ledger_path):
+        for run_id in ("run-1", "run-2", "run-3"):
+            ledger = RunLedger(ledger_path, run_id=run_id)
+            ledger.run_started(command="fig5")
+            ledger.phase("cell", tag=run_id)
+            ledger.run_finished(status=0)
+
+    def test_keeps_last_n_runs(self, ledger_path):
+        self._three_runs(ledger_path)
+        stats = prune_ledger(ledger_path, 2)
+        assert stats == {
+            "runs_before": 3,
+            "runs_kept": 2,
+            "records_before": 9,
+            "records_kept": 6,
+        }
+        runs = group_runs(read_ledger(ledger_path))
+        assert list(runs) == ["run-2", "run-3"]
+        # Surviving records are intact, in original order.
+        assert [r["type"] for r in runs["run-2"].values() if isinstance(r, dict)]
+
+    def test_keep_zero_empties_and_larger_keep_is_noop(self, ledger_path):
+        self._three_runs(ledger_path)
+        before = read_ledger(ledger_path)
+        prune_ledger(ledger_path, 10)
+        assert read_ledger(ledger_path) == before
+        prune_ledger(ledger_path, 0)
+        assert read_ledger(ledger_path) == []
+
+    def test_negative_keep_rejected(self, ledger_path):
+        from repro.errors import LedgerError
+
+        self._three_runs(ledger_path)
+        with pytest.raises(LedgerError):
+            prune_ledger(ledger_path, -1)
+
+    def test_prune_drops_torn_lines(self, ledger_path):
+        self._three_runs(ledger_path)
+        with open(ledger_path, "a") as handle:
+            handle.write('{"type": "phase", "trunc')
+        prune_ledger(ledger_path, 3)
+        assert len(read_ledger(ledger_path)) == 9
+
+    def test_appends_after_prune_still_work(self, ledger_path):
+        self._three_runs(ledger_path)
+        prune_ledger(ledger_path, 1)
+        ledger = RunLedger(ledger_path, run_id="run-4")
+        ledger.run_started(command="table1")
+        ledger.run_finished(status=0)
+        assert list(group_runs(read_ledger(ledger_path))) == ["run-3", "run-4"]
+
+    def test_size_helper(self, ledger_path, tmp_path):
+        assert ledger_size_bytes(tmp_path / "nope.jsonl") == 0
+        self._three_runs(ledger_path)
+        assert ledger_size_bytes(ledger_path) == os.path.getsize(ledger_path)
+
+    def test_cli_report_prune_ledger(self, ledger_path, monkeypatch, capsys):
+        self._three_runs(ledger_path)
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger_path))
+        assert main(["report", "--prune-ledger", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "ledger pruned: kept 1/3 runs" in captured.err
+        # The reporting run itself appends after the prune, so the file
+        # now holds the survivor plus the report invocation's own run.
+        runs = group_runs(read_ledger(ledger_path))
+        assert "run-3" in runs
+        assert "run-1" not in runs and "run-2" not in runs
 
 
 class TestPathResolution:
