@@ -34,3 +34,42 @@ def test_repair_runtime_overhead(benchmark, show):
         assert row.runtimes["eas"] >= row.runtimes["eas-base"]
         # ... and the energy increase is negligible (paper's wording).
         assert row.energies["eas"] <= row.energies["eas-base"] * 1.25
+
+
+def test_repair_runtime_preset(benchmark, show):
+    """Guaranteed-miss preset: deadlines tightened so repair always runs.
+
+    The default-scale test above can skip when every suite happens to be
+    schedulable; this preset tightens deadlines to half so CI always
+    exercises the TXT-RT relationship, and runs repair in both engine
+    modes on identical inputs to surface the incremental speedup.
+    """
+    preset = dict(category=2, n_benchmarks=2, n_tasks=60, deadline_scale=0.5)
+
+    def experiment():
+        full = run_repair_runtime(use_incremental=False, **preset)
+        incremental = run_repair_runtime(use_incremental=True, **preset)
+        return full, incremental
+
+    full, incremental = run_once(benchmark, experiment)
+    assert full and incremental, "tightened preset must always produce misses"
+    assert len(full) == len(incremental)
+
+    lines = [
+        "benchmark  misses  repair seconds full-rebuild -> incremental  energy ratio"
+    ]
+    for f, inc in zip(full, incremental):
+        assert f.benchmark == inc.benchmark
+        # Both engines repair the same schedule to the same result.
+        assert f.misses == inc.misses
+        assert f.energies == inc.energies
+        full_repair = f.runtimes["eas"] - f.runtimes["eas-base"]
+        inc_repair = inc.runtimes["eas"] - inc.runtimes["eas-base"]
+        lines.append(
+            f"  {f.benchmark:>8}  {f.misses['eas-base']:>3}->{f.misses['eas']:<3} "
+            f"{full_repair:10.2f} -> {inc_repair:10.2f}   "
+            f"{f.energies['eas'] / f.energies['eas-base']:.4f}"
+        )
+        assert f.misses["eas"] <= f.misses["eas-base"]
+        assert f.energies["eas"] <= f.energies["eas-base"] * 1.25
+    show("\n".join(lines))

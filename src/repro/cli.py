@@ -420,6 +420,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "cache — for A/B comparisons",
         )
         group.add_argument(
+            "--no-incremental-repair",
+            action="store_true",
+            help="evaluate every Step-3 repair candidate with a full "
+            "rebuild (the paper-literal reference path) instead of the "
+            "incremental dirty-cone replay engine — for A/B comparisons",
+        )
+        group.add_argument(
             "--ledger",
             metavar="FILE",
             default=None,
@@ -443,7 +450,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _eas_config(args) -> EASConfig:
     """The EAS knobs the shared CLI flags select."""
-    return EASConfig(use_cache=not getattr(args, "no_eval_cache", False))
+    return EASConfig(
+        use_cache=not getattr(args, "no_eval_cache", False),
+        use_incremental_repair=not getattr(args, "no_incremental_repair", False),
+    )
 
 
 def _handle_random(args) -> int:
@@ -826,6 +836,7 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
         "index": args.index,
         "n_tasks": args.n_tasks,
         "cache": not getattr(args, "no_eval_cache", False),
+        "increpair": not getattr(args, "no_incremental_repair", False),
     }
     if params is not None:
         for key in ("algorithm", "system", "clip", "category", "index", "n_tasks"):
@@ -833,6 +844,8 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
                 fields[key] = params[key]
         if params.get("no_eval_cache") is not None:
             fields["cache"] = not params["no_eval_cache"]
+        if params.get("no_incremental_repair") is not None:
+            fields["increpair"] = not params["no_incremental_repair"]
     elif token:
         for part in token.split(","):
             part = part.strip()
@@ -845,7 +858,7 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
             key, value = (s.strip() for s in part.split("=", 1))
             if key in ("category", "index", "n_tasks"):
                 fields[key] = int(value)
-            elif key == "cache":
+            elif key in ("cache", "increpair"):
                 fields[key] = value.lower() in ("1", "on", "true", "yes")
             elif key in ("algorithm", "system", "clip"):
                 fields[key] = value
@@ -872,7 +885,10 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
     return RunSpec(
         scheduler=fields["algorithm"],
         benchmark=benchmark,
-        eas_config=EASConfig(use_cache=bool(fields["cache"])),
+        eas_config=EASConfig(
+            use_cache=bool(fields["cache"]),
+            use_incremental_repair=bool(fields["increpair"]),
+        ),
         tag=token or "default",
     )
 

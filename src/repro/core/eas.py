@@ -85,6 +85,12 @@ class EASConfig:
             path (the reference implementation kept behind
             ``use_cache=False`` and the CLI's ``--no-eval-cache``) while
             doing far fewer Fig. 3 evaluations.
+        use_incremental_repair: evaluate Step-3 candidate moves with the
+            incremental rebuild engine (prefix reuse + early abort +
+            memoization, see ``core/increbuild.py``) instead of a full
+            rebuild per candidate.  Both settings accept the identical
+            move sequence; ``False`` (CLI ``--no-incremental-repair``)
+            keeps the paper-literal path as the reference.
     """
 
     weight_policy: WeightPolicy = weight_var_product
@@ -93,6 +99,7 @@ class EASConfig:
     max_repair_rounds: int = 64
     contention_aware: bool = True
     use_cache: bool = True
+    use_incremental_repair: bool = True
 
 
 @dataclass
@@ -560,7 +567,11 @@ def eas_schedule(
         schedule = eas_base_schedule(ctg, acg, cfg)
         if cfg.repair and schedule.deadline_misses():
             repaired, _report = search_and_repair(
-                schedule, RepairConfig(max_rounds=cfg.max_repair_rounds)
+                schedule,
+                RepairConfig(
+                    max_rounds=cfg.max_repair_rounds,
+                    use_incremental=cfg.use_incremental_repair,
+                ),
             )
             # Repair only reorders/remaps; the level-schedule decisions
             # remain the provenance of the original placements.

@@ -17,15 +17,34 @@ move.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.arch.acg import ACG
 from repro.core.comm import schedule_incoming_transactions
 from repro.ctg.graph import CTG
 from repro.errors import InfeasibleOrderError, SchedulingError
-from repro.schedule.entries import TaskPlacement
+from repro.schedule.entries import CommPlacement, TaskPlacement
 from repro.schedule.overlay import ResourceTables
 from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CommitStep:
+    """One committed task of a rebuild, in commit order.
+
+    The *commit trace* — the sequence of these — is what the incremental
+    repair engine replays: a rebuild is fully determined by its commit
+    sequence, so a recorded trace plus the deterministic selection rule
+    lets a later rebuild prove how long a prefix it shares with this one
+    without re-probing anything (see ``repro.core.increbuild``).
+    """
+
+    task: str
+    pe: int
+    placement: TaskPlacement
+    comms: Tuple[CommPlacement, ...]
 
 
 def rebuild_schedule(
@@ -46,6 +65,26 @@ def rebuild_schedule(
         InfeasibleOrderError: the orders deadlock against the precedence
             constraints.
         SchedulingError: the mapping assigns a task to an infeasible PE.
+    """
+    schedule, _trace = rebuild_schedule_traced(
+        ctg, acg, mapping, pe_orders, algorithm=algorithm, record_trace=False
+    )
+    return schedule
+
+
+def rebuild_schedule_traced(
+    ctg: CTG,
+    acg: ACG,
+    mapping: Mapping[str, int],
+    pe_orders: Mapping[int, Sequence[str]],
+    algorithm: str = "rebuild",
+    record_trace: bool = True,
+) -> Tuple[Schedule, List[CommitStep]]:
+    """:func:`rebuild_schedule` plus the commit trace it followed.
+
+    With ``record_trace=False`` the trace list comes back empty (this is
+    the body of :func:`rebuild_schedule`); the schedule is identical
+    either way.
     """
     for name in ctg.task_names():
         if name not in mapping:
@@ -79,6 +118,8 @@ def rebuild_schedule(
         name: ctg.in_degree(name) for name in ctg.task_names()
     }
     unplaced = set(ctg.task_names())
+    trace: List[CommitStep] = []
+    scheduled_counter = obs.get().metrics.counter("rebuild.tasks_scheduled")
 
     while unplaced:
         eligible = _eligible_tasks(
@@ -97,13 +138,22 @@ def rebuild_schedule(
                 best = key
         assert best is not None
         chosen = best[2]
-        _commit(ctg, acg, chosen, mapping[chosen], placements, tables, schedule)
+        placement, comms = _commit(
+            ctg, acg, chosen, mapping[chosen], placements, tables, schedule
+        )
+        scheduled_counter.inc()
+        if record_trace:
+            trace.append(
+                CommitStep(
+                    task=chosen, pe=placement.pe, placement=placement, comms=tuple(comms)
+                )
+            )
         unplaced.discard(chosen)
         next_slot[mapping[chosen]] += 1
         for succ in ctg.successors(chosen):
             remaining_preds[succ] -= 1
 
-    return schedule
+    return schedule, trace
 
 
 def _eligible_tasks(
@@ -152,7 +202,7 @@ def _commit(
     placements: Dict[str, TaskPlacement],
     tables: ResourceTables,
     schedule: Schedule,
-) -> None:
+) -> Tuple[TaskPlacement, List[CommPlacement]]:
     cost = _cost(ctg, acg, task_name, pe_index)
     overlay = tables.overlay()
     drt, comms = schedule_incoming_transactions(
@@ -172,6 +222,7 @@ def _commit(
     schedule.place_task(placement)
     for comm in comms:
         schedule.place_comm(comm)
+    return placement, comms
 
 
 def _cost(ctg: CTG, acg: ACG, task_name: str, pe_index: int):

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
+from repro.core.increbuild import IncrementalRebuilder
 from repro.core.rebuild import rebuild_schedule
 from repro.errors import InfeasibleOrderError
 from repro.schedule.schedule import Schedule
@@ -47,6 +48,16 @@ class RepairConfig:
     #: destination rankings — the diversification knob the multi-start
     #: portfolio uses.  Never reads global ``random`` state.
     seed: Optional[int] = None
+    #: evaluate candidate moves with the incremental rebuild engine
+    #: (``core/increbuild.py``): prefix reuse, early abort, rejected-move
+    #: memoization.  ``False`` (CLI ``--no-incremental-repair``) keeps
+    #: the paper-literal full rebuild per candidate.  Both paths accept
+    #: the exact same move sequence; only runtime differs.
+    use_incremental: bool = True
+    #: debug: cross-check every incremental evaluation against a full
+    #: rebuild (byte-comparing serializations).  Slow; used by the
+    #: equivalence harness in ``tests/test_increbuild.py``.
+    selfcheck: bool = False
 
 
 @dataclass
@@ -94,6 +105,72 @@ def critical_tasks(schedule: Schedule) -> Set[str]:
     return critical
 
 
+class _MoveEvaluator:
+    """Candidate-move evaluation behind one interface for both modes.
+
+    ``use_incremental`` picks between the paper-literal full rebuild per
+    candidate and the :class:`IncrementalRebuilder` dirty-cone replay.
+    Both return the identical schedule for a feasible candidate; the
+    incremental mode may also return ``None`` for candidates it *proves*
+    cannot beat the current metric (early abort, memoized rejection) —
+    exactly the candidates the caller would reject anyway, so the
+    accepted-move sequence is mode-independent.
+
+    Also owns the per-incumbent-mapping destination ranking cache:
+    ``_destinations_by_energy`` depends only on (task, mapping), so GTM
+    passes between accepted migrations can reuse the rankings instead of
+    recomputing every incident-edge energy sum per pass.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        mapping: Dict[str, int],
+        orders: Dict[int, List[str]],
+        cfg: RepairConfig,
+    ) -> None:
+        self._engine: Optional[IncrementalRebuilder] = None
+        if cfg.use_incremental:
+            self._engine = IncrementalRebuilder(
+                schedule.ctg,
+                schedule.acg,
+                mapping,
+                orders,
+                algorithm=schedule.algorithm,
+                selfcheck=cfg.selfcheck,
+            )
+        self._dest_cache: Dict[str, List[int]] = {}
+
+    def evaluate(
+        self,
+        schedule: Schedule,
+        mapping: Dict[str, int],
+        orders: Dict[int, List[str]],
+        metric: MissMetric,
+    ) -> Optional[Schedule]:
+        if self._engine is None:
+            return _try_rebuild(schedule, mapping, orders)
+        return self._engine.evaluate(mapping, orders, metric)
+
+    def promote(self) -> None:
+        """The last evaluated candidate was accepted as the new incumbent."""
+        if self._engine is not None:
+            self._engine.promote()
+
+    def destinations(
+        self, schedule: Schedule, task: str, mapping: Dict[str, int]
+    ) -> List[int]:
+        ranked = self._dest_cache.get(task)
+        if ranked is None:
+            ranked = _destinations_by_energy(schedule, task, mapping)
+            self._dest_cache[task] = ranked
+        return ranked
+
+    def invalidate_destinations(self) -> None:
+        """An accepted migration changed the mapping; rankings are stale."""
+        self._dest_cache.clear()
+
+
 def search_and_repair(
     schedule: Schedule,
     config: Optional[RepairConfig] = None,
@@ -114,6 +191,7 @@ def search_and_repair(
     mapping = dict(current.mapping())
     orders = {pe: list(tasks) for pe, tasks in current.pe_order().items()}
     rng = random.Random(cfg.seed) if cfg.seed is not None else None
+    evaluator = _MoveEvaluator(current, mapping, orders, cfg)
 
     ins = obs.get()
     round_counter = ins.metrics.counter("repair.rounds")
@@ -124,12 +202,12 @@ def search_and_repair(
             report.rounds += 1
             round_counter.inc()
             current, mapping, orders, metric, lts_improved = _lts_pass(
-                current, mapping, orders, metric, report, rng
+                current, mapping, orders, metric, report, evaluator, rng
             )
             if metric[0] == 0:
                 break
             current, mapping, orders, metric, gtm_improved = _gtm_pass(
-                current, mapping, orders, metric, report, cfg, rng
+                current, mapping, orders, metric, report, cfg, evaluator, rng
             )
             if not lts_improved and not gtm_improved:
                 break  # fixed point: no move helps
@@ -333,6 +411,7 @@ def _lts_pass(
     orders: Dict[int, List[str]],
     metric: MissMetric,
     report: RepairReport,
+    evaluator: _MoveEvaluator,
     rng: Optional[random.Random] = None,
 ) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
     """One LTS sweep: try to pull every critical task earlier on its PE."""
@@ -359,11 +438,12 @@ def _lts_pass(
                 )
                 candidate_orders = dict(orders)
                 candidate_orders[pe] = candidate_order
-                rebuilt = _try_rebuild(schedule, mapping, candidate_orders)
+                rebuilt = evaluator.evaluate(schedule, mapping, candidate_orders, metric)
                 if rebuilt is None:
                     continue
                 candidate_metric = miss_metric(rebuilt)
                 if candidate_metric < metric:
+                    evaluator.promote()
                     orders[pe] = candidate_order
                     schedule = rebuilt
                     metric = candidate_metric
@@ -395,6 +475,7 @@ def _gtm_pass(
     metric: MissMetric,
     report: RepairReport,
     cfg: RepairConfig,
+    evaluator: _MoveEvaluator,
     rng: Optional[random.Random] = None,
 ) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
     """Attempt one accepted migration (Fig. 4 returns to LTS after it).
@@ -417,17 +498,17 @@ def _gtm_pass(
     energy_sweep = (
         (task, dest_pe)
         for task in critical
-        for dest_pe in _jittered(_destinations_by_energy(schedule, task, mapping), rng)
+        for dest_pe in _jittered(evaluator.destinations(schedule, task, mapping), rng)
     )
     result = _try_migrations(
-        schedule, mapping, orders, metric, report, cfg, energy_sweep
+        schedule, mapping, orders, metric, report, cfg, evaluator, energy_sweep
     )
     if result is not None:
         return result
 
     relief_sweep = _load_relief_candidates(schedule, mapping, critical)
     result = _try_migrations(
-        schedule, mapping, orders, metric, report, cfg, relief_sweep
+        schedule, mapping, orders, metric, report, cfg, evaluator, relief_sweep
     )
     if result is not None:
         return result
@@ -441,6 +522,7 @@ def _try_migrations(
     metric: MissMetric,
     report: RepairReport,
     cfg: RepairConfig,
+    evaluator: _MoveEvaluator,
     candidates,
 ) -> Optional[Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]]:
     """Try candidate (task, dest) migrations; return on first acceptance."""
@@ -458,11 +540,13 @@ def _try_migrations(
         candidate_orders = {pe: list(names) for pe, names in orders.items()}
         candidate_orders[source_pe].remove(task)
         _insert_by_start(candidate_orders.setdefault(dest_pe, []), task, schedule)
-        rebuilt = _try_rebuild(schedule, candidate_mapping, candidate_orders)
+        rebuilt = evaluator.evaluate(schedule, candidate_mapping, candidate_orders, metric)
         if rebuilt is None:
             continue
         candidate_metric = miss_metric(rebuilt)
         if candidate_metric < metric:
+            evaluator.promote()
+            evaluator.invalidate_destinations()
             report.migrations_accepted += 1
             ins = obs.get()
             ins.metrics.counter("repair.gtm_moves").inc()
@@ -494,9 +578,10 @@ def _load_relief_candidates(
     for placement in schedule.task_placements.values():
         load[placement.pe] += placement.duration
 
-    ranked_tasks = sorted(
-        critical, key=lambda t: (-load[mapping[t]], critical.index(t))
-    )
+    # Rank lookup must be O(1): ``critical.index(t)`` inside the sort key
+    # is a linear scan, turning this sort quadratic on large critical sets.
+    rank = {name: position for position, name in enumerate(critical)}
+    ranked_tasks = sorted(critical, key=lambda t: (-load[mapping[t]], rank[t]))
     dest_order = sorted(load, key=lambda pe: load[pe])
     for task in ranked_tasks:
         task_obj = ctg.task(task)

@@ -262,23 +262,37 @@ def run_repair_runtime(
     category: int = 2,
     n_benchmarks: int = N_RANDOM_BENCHMARKS,
     n_tasks: Optional[int] = None,
+    deadline_scale: float = 1.0,
+    use_incremental: bool = True,
 ) -> List[ExperimentRow]:
     """Runtime overhead of search-and-repair on the miss-y benchmarks.
 
     Reproduces the Sec. 6.1 observation that repair fixes all misses at
     negligible energy cost but measurably longer scheduler runtime.
     Only benchmarks where EAS-base actually misses produce a row.
+
+    ``deadline_scale`` < 1 tightens every deadline by that factor — the
+    guaranteed-miss preset knob (at the default scale whole suites can
+    be schedulable, and this experiment silently produces no rows).
+    ``use_incremental`` selects the repair evaluation engine, so callers
+    can A/B the paper-literal and incremental paths on identical inputs.
     """
+    from repro.core.repair import RepairConfig
+
     n_tasks = n_tasks if n_tasks is not None else default_n_tasks()
     rows: List[ExperimentRow] = []
     for index in range(n_benchmarks):
         ctg = generate_category(category, index, n_tasks=n_tasks)
+        if deadline_scale != 1.0:
+            ctg = ctg.with_scaled_deadlines(deadline_scale)
         acg = mesh_4x4(shuffle_seed=100 + index)
         base = eas_base_schedule(ctg, acg)
         if not base.deadline_misses():
             continue
         with obs.timed_phase("repair_runtime.repair", ctg=ctg.name) as timing:
-            repaired, report = search_and_repair(base)
+            repaired, report = search_and_repair(
+                base, RepairConfig(use_incremental=use_incremental)
+            )
         repair_seconds = timing.seconds
         rows.append(
             ExperimentRow(

@@ -22,16 +22,36 @@ class ResourceTables:
     Resources are created lazily: querying an unknown resource sees an
     empty table.  PE resources are keyed by PE index, link resources by
     :class:`repro.arch.topology.Link`.
+
+    :meth:`fork` produces a copy-on-write clone: both sides keep sharing
+    the per-resource :class:`ScheduleTable` objects until one of them
+    mutates a resource, at which point that table alone is copied.  The
+    incremental repair engine forks the incumbent's committed state once
+    per candidate move, so a candidate that only perturbs a handful of
+    resources pays for copying exactly those tables.
     """
 
     def __init__(self) -> None:
         self._tables: Dict[Hashable, ScheduleTable] = {}
+        #: resources whose table object is shared with a fork; mutate
+        #: through :meth:`_mutable` only.
+        self._shared: Set[Hashable] = set()
 
     def table(self, resource: Hashable) -> ScheduleTable:
+        """Read access to one resource's table (do not mutate the result)."""
         tbl = self._tables.get(resource)
         if tbl is None:
             tbl = ScheduleTable()
             self._tables[resource] = tbl
+        return tbl
+
+    def _mutable(self, resource: Hashable) -> ScheduleTable:
+        """The resource's table, privately owned (copied if fork-shared)."""
+        tbl = self.table(resource)
+        if resource in self._shared:
+            tbl = tbl.copy()
+            self._tables[resource] = tbl
+            self._shared.discard(resource)
         return tbl
 
     def busy(self, resource: Hashable) -> List[Interval]:
@@ -39,10 +59,14 @@ class ResourceTables:
         return tbl.intervals() if tbl is not None else []
 
     def reserve(self, resource: Hashable, start: float, end: float) -> None:
-        self.table(resource).reserve(start, end)
+        self._mutable(resource).reserve(start, end)
 
     def release(self, resource: Hashable, start: float, end: float) -> None:
-        self.table(resource).release(start, end)
+        self._mutable(resource).release(start, end)
+
+    def truncate_from(self, resource: Hashable, start: float) -> int:
+        """Bulk-drop the resource's reservations beginning at/after ``start``."""
+        return self._mutable(resource).truncate_from(start)
 
     def find_earliest(self, resource: Hashable, ready: float, duration: float) -> float:
         return self.table(resource).find_earliest(ready, duration)
@@ -53,6 +77,15 @@ class ResourceTables:
     def copy(self) -> "ResourceTables":
         clone = ResourceTables()
         clone._tables = {k: v.copy() for k, v in self._tables.items()}
+        return clone
+
+    def fork(self) -> "ResourceTables":
+        """A copy-on-write clone sharing every table until first mutation."""
+        clone = ResourceTables()
+        clone._tables = dict(self._tables)
+        clone._shared = set(self._tables)
+        # The parent must stop mutating shared tables in place too.
+        self._shared = set(self._tables)
         return clone
 
     def overlay(self) -> "TentativeOverlay":
@@ -134,9 +167,8 @@ class TentativeOverlay:
     def commit(self) -> None:
         """Apply all tentative reservations to the committed tables."""
         for resource, intervals in self._extra.items():
-            table = self._base.table(resource)
             for start, end in intervals:
-                table.reserve(start, end)
+                self._base.reserve(resource, start, end)
         self._extra.clear()
 
     def drop(self) -> None:

@@ -64,25 +64,27 @@ class TestOrderEnforcement:
         ctg.add_task(uniform_task("b", 10, 1))
         ctg.connect("a", "b")
         acg = acg4()
-        with pytest.raises(InfeasibleOrderError):
+        with pytest.raises(InfeasibleOrderError, match=r"deadlock.*2 tasks stuck"):
             rebuild_schedule(ctg, acg, {"a": 0, "b": 0}, {0: ["b", "a"]})
 
     def test_mapping_missing_task(self):
         ctg = chain3()
-        with pytest.raises(SchedulingError):
+        with pytest.raises(SchedulingError, match=r"mapping misses task 'c'"):
             rebuild_schedule(ctg, acg4(), {"a": 0, "b": 0}, {0: ["a", "b"]})
 
     def test_order_mapping_mismatch(self):
         ctg = chain3()
         mapping = {"a": 0, "b": 0, "c": 1}
-        with pytest.raises(SchedulingError):
+        with pytest.raises(SchedulingError, match=r"order of PE 0 lists 'c', mapped to PE 1"):
             # c listed on PE0 though mapped to PE1.
             rebuild_schedule(ctg, acg4(), mapping, {0: ["a", "b", "c"], 1: []})
 
     def test_order_missing_task(self):
         ctg = chain3()
         mapping = {"a": 0, "b": 0, "c": 0}
-        with pytest.raises(SchedulingError):
+        with pytest.raises(
+            SchedulingError, match=r"PE 0 order .* does not match its mapped tasks"
+        ):
             rebuild_schedule(ctg, acg4(), mapping, {0: ["a", "b"]})
 
     def test_infeasible_pe_type(self):
@@ -91,7 +93,9 @@ class TestOrderEnforcement:
         ctg = CTG()
         ctg.add_task(Task("dsp-only", costs={"dsp": TaskCosts(10, 1)}))
         acg = acg4()
-        with pytest.raises(SchedulingError):
+        with pytest.raises(
+            SchedulingError, match=r"'dsp-only' mapped to PE 0 of infeasible type 'cpu'"
+        ):
             # PE 0 is the cpu tile.
             rebuild_schedule(ctg, acg, {"dsp-only": 0}, {0: ["dsp-only"]})
 

@@ -154,3 +154,48 @@ class TestProbeFootprint:
         overlay.find_earliest("r", 0, 5)
         overlay.drop()
         assert overlay.probed_resources() == frozenset({"r"})
+
+
+class TestFork:
+    def test_fork_shares_until_mutation(self):
+        base = ResourceTables()
+        base.reserve(0, 0, 10)
+        clone = base.fork()
+        assert clone.busy(0) == [(0, 10)]
+        # Clone mutation must not leak into the parent.
+        clone.reserve(0, 20, 30)
+        assert base.busy(0) == [(0, 10)]
+        assert clone.busy(0) == [(0, 10), (20, 30)]
+        # Parent mutation after the fork must not leak into the clone.
+        base.reserve(0, 40, 50)
+        assert clone.busy(0) == [(0, 10), (20, 30)]
+
+    def test_fork_truncate_is_isolated(self):
+        base = ResourceTables()
+        base.reserve("link", 0, 5)
+        base.reserve("link", 10, 15)
+        clone = base.fork()
+        assert clone.truncate_from("link", 10) == 1
+        assert clone.busy("link") == [(0, 5)]
+        assert base.busy("link") == [(0, 5), (10, 15)]
+
+    def test_overlay_commit_respects_fork(self):
+        """TentativeOverlay.commit routes through copy-on-write."""
+        base = ResourceTables()
+        base.reserve(1, 0, 10)
+        clone = base.fork()
+        overlay = base.overlay()
+        overlay.reserve(1, 10, 20)
+        overlay.commit()
+        assert base.busy(1) == [(0, 10), (10, 20)]
+        assert clone.busy(1) == [(0, 10)]
+
+    def test_fork_of_fork(self):
+        base = ResourceTables()
+        base.reserve(0, 0, 1)
+        first = base.fork()
+        second = first.fork()
+        second.reserve(0, 2, 3)
+        assert base.busy(0) == [(0, 1)]
+        assert first.busy(0) == [(0, 1)]
+        assert second.busy(0) == [(0, 1), (2, 3)]

@@ -173,3 +173,56 @@ class TestMergeBusy:
         clone.reserve(10, 20)
         assert table.intervals() == [(0, 10)]
         assert clone.intervals() == [(0, 10), (10, 20)]
+
+
+class TestTruncateFrom:
+    def test_drops_tail(self):
+        table = ScheduleTable([(0, 5), (10, 15), (20, 25)])
+        assert table.truncate_from(10) == 2
+        assert table.intervals() == [(0, 5)]
+
+    def test_boundary_interval_kept(self):
+        """An interval ending exactly at the cut stays in the prefix."""
+        table = ScheduleTable([(0, 10), (10, 20)])
+        assert table.truncate_from(10) == 1
+        assert table.intervals() == [(0, 10)]
+
+    def test_straddling_interval_raises(self):
+        table = ScheduleTable([(0, 10)])
+        with pytest.raises(SchedulingError, match="straddles"):
+            table.truncate_from(5)
+
+    def test_empty_and_past_horizon(self):
+        assert ScheduleTable().truncate_from(0) == 0
+        table = ScheduleTable([(0, 10)])
+        assert table.truncate_from(50) == 0
+        assert table.intervals() == [(0, 10)]
+
+
+class TestMergeBusyRandomized:
+    def test_matches_naive_union(self):
+        """heapq.merge path agrees with a brute-force union on random input."""
+        import random
+
+        rng = random.Random(42)
+        for _trial in range(50):
+            lists = []
+            for _k in range(rng.randint(0, 4)):
+                cursor, intervals = 0.0, []
+                for _j in range(rng.randint(0, 6)):
+                    cursor += rng.uniform(0.1, 5.0)
+                    end = cursor + rng.uniform(0.1, 5.0)
+                    intervals.append((cursor, end))
+                    cursor = end
+                lists.append(intervals)
+            merged = merge_busy(lists)
+            # sorted + coalesce reference
+            flat = sorted(iv for lst in lists for iv in lst)
+            reference = []
+            for start, end in flat:
+                if reference and start <= reference[-1][1] + 1e-9:
+                    if end > reference[-1][1]:
+                        reference[-1] = (reference[-1][0], end)
+                else:
+                    reference.append((start, end))
+            assert merged == reference
