@@ -427,6 +427,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "incremental dirty-cone replay engine — for A/B comparisons",
         )
         group.add_argument(
+            "--no-path-cache",
+            action="store_true",
+            help="re-merge every route's link busy lists per Fig. 3 probe "
+            "(the literal reference path) instead of serving probes from "
+            "the version-keyed path-table cache with the horizon fast "
+            "path — for A/B comparisons; schedules are bit-identical",
+        )
+        group.add_argument(
             "--ledger",
             metavar="FILE",
             default=None,
@@ -453,6 +461,7 @@ def _eas_config(args) -> EASConfig:
     return EASConfig(
         use_cache=not getattr(args, "no_eval_cache", False),
         use_incremental_repair=not getattr(args, "no_incremental_repair", False),
+        use_path_cache=not getattr(args, "no_path_cache", False),
     )
 
 
@@ -837,6 +846,7 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
         "n_tasks": args.n_tasks,
         "cache": not getattr(args, "no_eval_cache", False),
         "increpair": not getattr(args, "no_incremental_repair", False),
+        "pathcache": not getattr(args, "no_path_cache", False),
     }
     if params is not None:
         for key in ("algorithm", "system", "clip", "category", "index", "n_tasks"):
@@ -846,6 +856,8 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
             fields["cache"] = not params["no_eval_cache"]
         if params.get("no_incremental_repair") is not None:
             fields["increpair"] = not params["no_incremental_repair"]
+        if params.get("no_path_cache") is not None:
+            fields["pathcache"] = not params["no_path_cache"]
     elif token:
         for part in token.split(","):
             part = part.strip()
@@ -858,7 +870,7 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
             key, value = (s.strip() for s in part.split("=", 1))
             if key in ("category", "index", "n_tasks"):
                 fields[key] = int(value)
-            elif key in ("cache", "increpair"):
+            elif key in ("cache", "increpair", "pathcache"):
                 fields[key] = value.lower() in ("1", "on", "true", "yes")
             elif key in ("algorithm", "system", "clip"):
                 fields[key] = value
@@ -888,6 +900,7 @@ def _parse_endpoint_spec(token: str, args, params: Optional[Dict[str, Any]] = No
         eas_config=EASConfig(
             use_cache=bool(fields["cache"]),
             use_incremental_repair=bool(fields["increpair"]),
+            use_path_cache=bool(fields["pathcache"]),
         ),
         tag=token or "default",
     )

@@ -8,6 +8,19 @@ one is placed at the earliest slot where its *entire* XY path is free for
 the whole transfer duration (wormhole: the path is held end to end), and
 its reservation is visible to the transactions scheduled after it.
 
+The path probe (``overlay.find_earliest_on_path``) is the single hottest
+operation in the whole system — every F(i,k) evaluation and every repair
+rebuild funnels through it.  It is served by the version-keyed path-table
+cache in :mod:`repro.schedule.overlay`: the merged committed busy list of
+each route is reused until one of its link tables changes version, probes
+whose ready time clears every horizon skip merging entirely, and all
+reads are zero-copy.  ``EASConfig.use_path_cache=False`` (CLI
+``--no-path-cache``) keeps the literal re-merge-per-probe reference path;
+cached and literal probes return bit-identical answers (DESIGN.md,
+"Path-table cache soundness").  Telemetry: ``comm.path_cache_hits`` /
+``comm.path_cache_misses``, ``comm.horizon_fast_path`` and
+``comm.merge_intervals``.
+
 All reservations go through a :class:`TentativeOverlay`, so the caller
 decides whether this was a what-if evaluation (drop) or the real
 placement (commit) — the paper's "schedule tables ... will be restored

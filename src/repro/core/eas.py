@@ -91,6 +91,12 @@ class EASConfig:
             rebuild per candidate.  Both settings accept the identical
             move sequence; ``False`` (CLI ``--no-incremental-repair``)
             keeps the paper-literal path as the reference.
+        use_path_cache: serve Fig. 3 path probes from the version-keyed
+            merged-busy-list cache with the horizon fast path (see
+            ``schedule/overlay.py``), in both Step 2 and Step-3 rebuilds.
+            ``False`` (CLI ``--no-path-cache``) re-merges every route
+            from scratch per probe — the literal reference path.
+            Schedules are bit-identical either way; only runtime differs.
     """
 
     weight_policy: WeightPolicy = weight_var_product
@@ -100,6 +106,7 @@ class EASConfig:
     contention_aware: bool = True
     use_cache: bool = True
     use_incremental_repair: bool = True
+    use_path_cache: bool = True
 
 
 @dataclass
@@ -199,6 +206,7 @@ class LevelBasedScheduler:
         algorithm_name: str = "eas-base",
         contention_aware: bool = True,
         use_cache: bool = True,
+        use_path_cache: bool = True,
     ) -> None:
         self.ctg = ctg
         self.acg = acg
@@ -206,7 +214,7 @@ class LevelBasedScheduler:
         self.algorithm_name = algorithm_name
         self.contention_aware = contention_aware
         self.use_cache = use_cache
-        self._tables = ResourceTables()
+        self._tables = ResourceTables(use_path_cache=use_path_cache)
         self._placements: Dict[str, TaskPlacement] = {}
         #: clean F(i,k) evaluations carried across RTL iterations.
         self._cache: Dict[Tuple[str, int], _Evaluation] = {}
@@ -544,6 +552,7 @@ def eas_base_schedule(
             algorithm_name="eas-base" if cfg.contention_aware else "eas-base-nocontention",
             contention_aware=cfg.contention_aware,
             use_cache=cfg.use_cache,
+            use_path_cache=cfg.use_path_cache,
         ).run()
     schedule.runtime_seconds = timing.seconds
     return schedule
@@ -571,6 +580,7 @@ def eas_schedule(
                 RepairConfig(
                     max_rounds=cfg.max_repair_rounds,
                     use_incremental=cfg.use_incremental_repair,
+                    use_path_cache=cfg.use_path_cache,
                 ),
             )
             # Repair only reorders/remaps; the level-schedule decisions

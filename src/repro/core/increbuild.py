@@ -121,6 +121,7 @@ class IncrementalRebuilder:
         early_abort: bool = True,
         memoize: bool = True,
         selfcheck: bool = False,
+        use_path_cache: bool = True,
     ) -> None:
         self.ctg = ctg
         self.acg = acg
@@ -128,6 +129,7 @@ class IncrementalRebuilder:
         self.early_abort = early_abort
         self.memoize = memoize
         self.selfcheck = selfcheck
+        self.use_path_cache = use_path_cache
         self._in_degree: Dict[str, int] = {
             name: ctg.in_degree(name) for name in ctg.task_names()
         }
@@ -161,12 +163,17 @@ class IncrementalRebuilder:
         if self._trace is not None:
             return
         _schedule, trace = rebuild_schedule_traced(
-            self.ctg, self.acg, self._mapping0, self._orders0, algorithm=self.algorithm
+            self.ctg,
+            self.acg,
+            self._mapping0,
+            self._orders0,
+            algorithm=self.algorithm,
+            use_path_cache=self.use_path_cache,
         )
         self._adopt(self._mapping0, self._orders0, trace, self._tables_of(trace))
 
     def _tables_of(self, trace: Sequence[CommitStep]) -> ResourceTables:
-        tables = ResourceTables()
+        tables = ResourceTables(use_path_cache=self.use_path_cache)
         for step in trace:
             tables.reserve(step.pe, step.placement.start, step.placement.finish)
             for comm in step.comms:
@@ -342,7 +349,8 @@ class IncrementalRebuilder:
                         undo.setdefault(link, []).append((comm.start, comm.finish))
         for resource, intervals in undo.items():
             intervals.sort()
-            busy = tables.table(resource).intervals()
+            # Zero-copy read: compared, never mutated (the slice copies).
+            busy = tables.busy_view(resource)
             tail_at = bisect_left(busy, (intervals[0][0], -math.inf))
             if busy[tail_at:] == intervals:
                 tables.truncate_from(resource, intervals[0][0])
@@ -496,7 +504,12 @@ class IncrementalRebuilder:
             return
         try:
             full = rebuild_schedule(
-                self.ctg, self.acg, mapping, orders, algorithm=self.algorithm
+                self.ctg,
+                self.acg,
+                mapping,
+                orders,
+                algorithm=self.algorithm,
+                use_path_cache=self.use_path_cache,
             )
         except InfeasibleOrderError:
             full = None

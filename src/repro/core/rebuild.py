@@ -53,6 +53,7 @@ def rebuild_schedule(
     mapping: Mapping[str, int],
     pe_orders: Mapping[int, Sequence[str]],
     algorithm: str = "rebuild",
+    use_path_cache: bool = True,
 ) -> Schedule:
     """Rebuild a timed schedule from a mapping and per-PE task orders.
 
@@ -61,13 +62,22 @@ def rebuild_schedule(
     start earliest is committed first; this keeps the reconstruction
     deterministic and packs resources greedily.
 
+    ``use_path_cache=False`` re-merges every route per probe (the
+    literal reference path); the result is bit-identical either way.
+
     Raises:
         InfeasibleOrderError: the orders deadlock against the precedence
             constraints.
         SchedulingError: the mapping assigns a task to an infeasible PE.
     """
     schedule, _trace = rebuild_schedule_traced(
-        ctg, acg, mapping, pe_orders, algorithm=algorithm, record_trace=False
+        ctg,
+        acg,
+        mapping,
+        pe_orders,
+        algorithm=algorithm,
+        record_trace=False,
+        use_path_cache=use_path_cache,
     )
     return schedule
 
@@ -79,6 +89,7 @@ def rebuild_schedule_traced(
     pe_orders: Mapping[int, Sequence[str]],
     algorithm: str = "rebuild",
     record_trace: bool = True,
+    use_path_cache: bool = True,
 ) -> Tuple[Schedule, List[CommitStep]]:
     """:func:`rebuild_schedule` plus the commit trace it followed.
 
@@ -111,7 +122,7 @@ def rebuild_schedule_traced(
             )
 
     schedule = Schedule(ctg, acg, algorithm=algorithm)
-    tables = ResourceTables()
+    tables = ResourceTables(use_path_cache=use_path_cache)
     placements: Dict[str, TaskPlacement] = {}
     next_slot: Dict[int, int] = {pe_index: 0 for pe_index in expected}
     remaining_preds: Dict[str, int] = {

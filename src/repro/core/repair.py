@@ -54,6 +54,12 @@ class RepairConfig:
     #: the paper-literal full rebuild per candidate.  Both paths accept
     #: the exact same move sequence; only runtime differs.
     use_incremental: bool = True
+    #: serve Fig. 3 path probes from the version-keyed path-table cache
+    #: (``schedule/overlay.py``) inside every candidate rebuild.
+    #: ``False`` (CLI ``--no-path-cache``) keeps the literal
+    #: re-merge-per-probe reference path; schedules are bit-identical
+    #: either way.
+    use_path_cache: bool = True
     #: debug: cross-check every incremental evaluation against a full
     #: rebuild (byte-comparing serializations).  Slow; used by the
     #: equivalence harness in ``tests/test_increbuild.py``.
@@ -130,6 +136,7 @@ class _MoveEvaluator:
         cfg: RepairConfig,
     ) -> None:
         self._engine: Optional[IncrementalRebuilder] = None
+        self._use_path_cache = cfg.use_path_cache
         if cfg.use_incremental:
             self._engine = IncrementalRebuilder(
                 schedule.ctg,
@@ -138,6 +145,7 @@ class _MoveEvaluator:
                 orders,
                 algorithm=schedule.algorithm,
                 selfcheck=cfg.selfcheck,
+                use_path_cache=cfg.use_path_cache,
             )
         self._dest_cache: Dict[str, List[int]] = {}
 
@@ -149,7 +157,9 @@ class _MoveEvaluator:
         metric: MissMetric,
     ) -> Optional[Schedule]:
         if self._engine is None:
-            return _try_rebuild(schedule, mapping, orders)
+            return _try_rebuild(
+                schedule, mapping, orders, use_path_cache=self._use_path_cache
+            )
         return self._engine.evaluate(mapping, orders, metric)
 
     def promote(self) -> None:
@@ -289,6 +299,7 @@ def _portfolio_start(payload: "_StartPayload") -> Dict[str, object]:
         schedule = rebuild_schedule(
             payload.ctg, payload.acg, payload.mapping, payload.orders,
             algorithm=payload.algorithm,
+            use_path_cache=payload.config.use_path_cache,
         )
         repaired, report = search_and_repair(schedule, payload.config)
         metric = miss_metric(repaired)
@@ -397,6 +408,7 @@ def multistart_search_and_repair(
         schedule.ctg, schedule.acg,
         raw[winner]["mapping"], raw[winner]["orders"],
         algorithm=schedule.algorithm,
+        use_path_cache=cfg.use_path_cache,
     )
     best.runtime_seconds = schedule.runtime_seconds
     return best, portfolio
@@ -673,11 +685,17 @@ def _try_rebuild(
     schedule: Schedule,
     mapping: Dict[str, int],
     orders: Dict[int, List[str]],
+    use_path_cache: bool = True,
 ) -> Optional[Schedule]:
     """Rebuild, treating infeasible orders as a rejected move."""
     try:
         return rebuild_schedule(
-            schedule.ctg, schedule.acg, mapping, orders, algorithm=schedule.algorithm
+            schedule.ctg,
+            schedule.acg,
+            mapping,
+            orders,
+            algorithm=schedule.algorithm,
+            use_path_cache=use_path_cache,
         )
     except InfeasibleOrderError:
         return None

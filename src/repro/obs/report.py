@@ -62,6 +62,7 @@ def build_report(
         "slow_phases": [],
         "slow_cells": [],
         "runs": {"total": 0, "finished": 0, "failed": 0, "open": 0},
+        "caches": [],
         "ledger_bytes": 0,
         "ledger_warning": None,
         "run_delta": None,
@@ -77,6 +78,7 @@ def build_report(
         report["slow_phases"] = _slow_phases(records, limit)
         report["slow_cells"] = _slow_cells(records, limit)
         report["runs"] = _run_stats(records, exclude_run_id)
+        report["caches"] = _cache_rates(records)
         report["run_delta"] = _last_run_delta(records, exclude_run_id)
         report["ledger_bytes"] = ledger_size_bytes(ledger_path)
         if report["ledger_bytes"] > LEDGER_WARN_BYTES:
@@ -202,6 +204,50 @@ def _last_run_delta(
     return None
 
 
+#: (row label, hits counter, misses counter) per scheduler cache; a
+#: ``None`` misses counter is a pure fast-path count (no rate).
+_CACHE_COUNTERS = [
+    ("eval F(i,k)", "eas.cache_hits", "eas.evaluations"),
+    ("path-table", "comm.path_cache_hits", "comm.path_cache_misses"),
+    ("horizon fast path", "comm.horizon_fast_path", None),
+]
+
+
+def _cache_rates(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate scheduler-cache hit rates over every terminal record.
+
+    Sums the counter snapshots of ``run_finished``/``run_failed``
+    records — the same counters the ledger already persists — into one
+    hits / misses / hit-rate row per cache.  Caches that never fired
+    across the ledger are omitted.
+    """
+    totals: Dict[str, float] = {}
+    for record in records:
+        if record.get("type") not in ("run_finished", "run_failed"):
+            continue
+        for name, value in (record.get("metrics") or {}).items():
+            if isinstance(value, (int, float)):
+                totals[name] = totals.get(name, 0.0) + value
+    rows: List[Dict[str, Any]] = []
+    for label, hits_key, misses_key in _CACHE_COUNTERS:
+        hits = totals.get(hits_key, 0.0)
+        misses = totals.get(misses_key, 0.0) if misses_key else None
+        if not hits and not misses:
+            continue
+        rate = None
+        if misses is not None and hits + misses > 0:
+            rate = round(100.0 * hits / (hits + misses), 1)
+        rows.append(
+            {
+                "cache": label,
+                "hits": int(hits),
+                "misses": int(misses) if misses is not None else None,
+                "hit_rate_pct": rate,
+            }
+        )
+    return rows
+
+
 def _run_stats(records: List[Dict[str, Any]], exclude_run_id: Optional[str]) -> Dict[str, int]:
     runs = group_runs(records)
     runs.pop(exclude_run_id, None)
@@ -267,6 +313,16 @@ def _format_text(report: Dict[str, Any]) -> str:
         f"  {stats['total']} ledgered ({stats['finished']} finished, "
         f"{stats['failed']} failed, {stats['open']} open)"
     )
+
+    if report.get("caches"):
+        lines.append("== cache hit rates ==")
+        for row in report["caches"]:
+            rate = "-" if row["hit_rate_pct"] is None else f"{row['hit_rate_pct']:.1f}%"
+            misses = "-" if row["misses"] is None else str(row["misses"])
+            lines.append(
+                f"  {row['cache']:<18} hits {row['hits']:<10d} "
+                f"misses {misses:<10} rate {rate}"
+            )
 
     lines.append("== recent failures ==")
     if report["failures"]:
@@ -346,6 +402,14 @@ def _format_markdown(report: Dict[str, Any]) -> str:
         f"{stats['total']} ledgered — {stats['finished']} finished, "
         f"{stats['failed']} failed, {stats['open']} open."
     )
+    if report.get("caches"):
+        lines += ["", "## Cache hit rates", ""]
+        lines.append("| cache | hits | misses | hit rate |")
+        lines.append("|---|---|---|---|")
+        for row in report["caches"]:
+            rate = "-" if row["hit_rate_pct"] is None else f"{row['hit_rate_pct']:.1f}%"
+            misses = "-" if row["misses"] is None else str(row["misses"])
+            lines.append(f"| {row['cache']} | {row['hits']} | {misses} | {rate} |")
     lines += ["", "## Recent failures", ""]
     if report["failures"]:
         for failure in report["failures"]:

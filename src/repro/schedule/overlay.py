@@ -7,13 +7,44 @@ PEs will be restored every time a F(i,k) is calculated").  Copying every
 table per evaluation would dominate runtime, so :class:`ResourceTables`
 keeps the committed tables immutable during an evaluation and layers the
 tentative reservations in a small per-evaluation overlay.
+
+Path-table cache
+----------------
+Fig. 3 prices a transaction by merging the busy lists of every link on
+its XY route ("``path.build_schedule_table()``").  The same routes are
+probed over and over — across the transactions of one evaluation, across
+the PE candidates of one RTL iteration, and across the replays of the
+incremental repair engine — while the underlying link tables change only
+on commit.  :meth:`ResourceTables.path_busy` therefore caches the merged
+*committed* busy list per route, keyed by the route's resource tuple and
+validated by the tuple of per-table version counters (see
+:class:`~repro.schedule.table.ScheduleTable`): a probe whose links are
+all unchanged reuses the merge verbatim, and the overlay only merges
+``[cached_path_table, *tentative_extras]`` on top.  Version mismatch is
+the *only* invalidation rule — results are float-exact by construction,
+never heuristic (soundness argument in DESIGN.md).
+
+Two further hot-read-path economies: all scheduler-internal reads go
+through zero-copy views (:meth:`ResourceTables.busy_view`; the public
+:meth:`busy` / ``intervals()`` accessors keep copying for external use),
+and a probe whose ready time lies at or beyond every involved horizon —
+the common case at the schedule frontier — returns ``ready`` without
+merging anything (the *horizon fast path*).
+
+Counters: ``comm.path_cache_hits`` / ``comm.path_cache_misses``,
+``comm.horizon_fast_path``, and ``comm.merge_intervals`` (total intervals
+fed through merges — the work metric ``BENCH_commsched.json`` gates on).
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
 
 from repro.schedule.table import Interval, ScheduleTable, find_gap, merge_busy
+
+#: shared read view of a resource that has no table yet.
+_EMPTY_BUSY: Tuple[Interval, ...] = ()
 
 
 class ResourceTables:
@@ -29,13 +60,33 @@ class ResourceTables:
     incremental repair engine forks the incumbent's committed state once
     per candidate move, so a candidate that only perturbs a handful of
     resources pays for copying exactly those tables.
+
+    ``use_path_cache`` selects between the version-keyed path-table
+    cache plus horizon fast path (the default) and the literal
+    recompute-every-merge reference path (CLI ``--no-path-cache``).
+    Both produce bit-identical schedules; only runtime differs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_path_cache: bool = True) -> None:
         self._tables: Dict[Hashable, ScheduleTable] = {}
         #: resources whose table object is shared with a fork; mutate
         #: through :meth:`_mutable` only.
         self._shared: Set[Hashable] = set()
+        self.use_path_cache = use_path_cache
+        #: route tuple -> (per-link version tuple, merged committed busy
+        #: list).  Entries' lists are never mutated after insertion.
+        self._path_cache: Dict[
+            Tuple[Hashable, ...], Tuple[Tuple[int, ...], List[Interval]]
+        ] = {}
+        # Counter fetch is deferred so merely importing this module never
+        # drags in the obs package (which itself imports schedule code).
+        from repro import obs
+
+        metrics = obs.get().metrics
+        self._path_hits = metrics.counter("comm.path_cache_hits")
+        self._path_misses = metrics.counter("comm.path_cache_misses")
+        self._horizon_hits = metrics.counter("comm.horizon_fast_path")
+        self._merge_work = metrics.counter("comm.merge_intervals")
 
     def table(self, resource: Hashable) -> ScheduleTable:
         """Read access to one resource's table (do not mutate the result)."""
@@ -55,8 +106,54 @@ class ResourceTables:
         return tbl
 
     def busy(self, resource: Hashable) -> List[Interval]:
+        """Defensive copy of a resource's busy list (external/API use)."""
         tbl = self._tables.get(resource)
         return tbl.intervals() if tbl is not None else []
+
+    def busy_view(self, resource: Hashable) -> Sequence[Interval]:
+        """Zero-copy read view of a resource's busy list.
+
+        Callers must treat the result as immutable and must not hold it
+        across a mutation of this resource (the hot probe path reads it
+        and lets go; see :meth:`ScheduleTable.busy_view`).
+        """
+        tbl = self._tables.get(resource)
+        return tbl.busy_view() if tbl is not None else _EMPTY_BUSY
+
+    def version(self, resource: Hashable) -> int:
+        """The resource's content-version (0 for never-touched tables).
+
+        A lazily created empty table also reports 0: both states have
+        the same (empty) busy list, so the shared version is sound.
+        """
+        tbl = self._tables.get(resource)
+        return tbl.version if tbl is not None else 0
+
+    def horizon(self, resource: Hashable) -> float:
+        """End of the resource's last committed reservation (0.0 if none)."""
+        tbl = self._tables.get(resource)
+        return tbl.horizon() if tbl is not None else 0.0
+
+    def path_busy(self, resources: Sequence[Hashable]) -> Sequence[Interval]:
+        """The merged committed busy list of a route, cached by version.
+
+        The cache key is the route's resource tuple; the entry is valid
+        iff every member table still has the version it was merged at —
+        version equality implies byte-identical merge inputs, hence a
+        byte-identical merge (DESIGN.md, "Path-table cache soundness").
+        """
+        key = tuple(resources)
+        versions = tuple(self.version(r) for r in key)
+        entry = self._path_cache.get(key)
+        if entry is not None and entry[0] == versions:
+            self._path_hits.inc()
+            return entry[1]
+        views = [self.busy_view(r) for r in key]
+        self._merge_work.inc(sum(len(view) for view in views))
+        merged = merge_busy(views)
+        self._path_cache[key] = (versions, merged)
+        self._path_misses.inc()
+        return merged
 
     def reserve(self, resource: Hashable, start: float, end: float) -> None:
         self._mutable(resource).reserve(start, end)
@@ -75,17 +172,37 @@ class ResourceTables:
         return list(self._tables)
 
     def copy(self) -> "ResourceTables":
-        clone = ResourceTables()
+        clone = self._bare_clone()
         clone._tables = {k: v.copy() for k, v in self._tables.items()}
         return clone
 
     def fork(self) -> "ResourceTables":
         """A copy-on-write clone sharing every table until first mutation."""
-        clone = ResourceTables()
+        clone = self._bare_clone()
         clone._tables = dict(self._tables)
         clone._shared = set(self._tables)
         # The parent must stop mutating shared tables in place too.
         self._shared = set(self._tables)
+        return clone
+
+    def _bare_clone(self) -> "ResourceTables":
+        """A clone shell sharing config, counters and valid cache entries.
+
+        Sharing the counter objects skips a registry round-trip per
+        clone; copying the path cache keeps routes warm across repair
+        forks.  Entries stay sound in both lineages because a table
+        copy preserves its version and every mutation bumps it — per
+        lineage, versions are strictly monotone (see DESIGN.md).
+        """
+        clone = ResourceTables.__new__(ResourceTables)
+        clone._tables = {}
+        clone._shared = set()
+        clone.use_path_cache = self.use_path_cache
+        clone._path_cache = dict(self._path_cache)
+        clone._path_hits = self._path_hits
+        clone._path_misses = self._path_misses
+        clone._horizon_hits = self._horizon_hits
+        clone._merge_work = self._merge_work
         return clone
 
     def overlay(self) -> "TentativeOverlay":
@@ -99,7 +216,8 @@ class TentativeOverlay:
     Reservations recorded here are visible to subsequent queries through
     the overlay (transaction n+1 must see transaction n's tentative link
     occupancy) but never touch the committed tables; dropping the overlay
-    is the paper's "restore".
+    is the paper's "restore".  Per-resource tentative lists are kept
+    sorted with ``bisect.insort`` so reads never re-sort them.
 
     The overlay also records every resource whose committed busy state a
     query consulted (its *probe footprint*).  An F(i,k) evaluation's
@@ -112,17 +230,32 @@ class TentativeOverlay:
     def __init__(self, base: ResourceTables) -> None:
         self._base = base
         self._extra: Dict[Hashable, List[Interval]] = {}
+        #: per-resource max end of the tentative reservations, for the
+        #: horizon fast path.
+        self._extra_horizon: Dict[Hashable, float] = {}
         self._probed: Set[Hashable] = set()
 
-    def _combined(self, resource: Hashable) -> List[Interval]:
+    def _combined(self, resource: Hashable) -> Sequence[Interval]:
         extra = self._extra.get(resource)
-        base = self._base.busy(resource)
+        base = self._base.busy_view(resource)
         if not extra:
             return base
-        return merge_busy([base, sorted(extra)])
+        self._base._merge_work.inc(len(base) + len(extra))
+        return merge_busy([base, extra])
+
+    def _horizon(self, resource: Hashable) -> float:
+        """Latest busy end visible through the overlay on ``resource``."""
+        horizon = self._base.horizon(resource)
+        extra = self._extra_horizon.get(resource, 0.0)
+        return extra if extra > horizon else horizon
 
     def find_earliest(self, resource: Hashable, ready: float, duration: float) -> float:
         self._probed.add(resource)
+        if self._base.use_path_cache and ready >= self._horizon(resource):
+            # Nothing visible ends after `ready`: find_gap would scan
+            # past every interval and return `ready` unchanged.
+            self._base._horizon_hits.inc()
+            return ready
         return find_gap(self._combined(resource), ready, duration)
 
     def find_earliest_on_path(
@@ -131,18 +264,42 @@ class TentativeOverlay:
         """Earliest slot free on *all* path resources simultaneously.
 
         Implements Fig. 3: the path schedule table is the merge of the
-        occupied slots of the comprising links.
+        occupied slots of the comprising links.  With the path cache on,
+        the committed part of that merge comes from
+        :meth:`ResourceTables.path_busy` and only the overlay's own
+        tentative intervals are merged per probe; a ready time at or
+        beyond every horizon skips the merge entirely.
         """
         if not resources:
             return ready
         self._probed.update(resources)
-        merged = merge_busy([self._combined(r) for r in resources])
+        base = self._base
+        if not base.use_path_cache:
+            # Literal reference path: re-merge every link from scratch.
+            views = [self._combined(r) for r in resources]
+            base._merge_work.inc(sum(len(view) for view in views))
+            return find_gap(merge_busy(views), ready, duration)
+        horizon = 0.0
+        for resource in resources:
+            h = self._horizon(resource)
+            if h > horizon:
+                horizon = h
+        if ready >= horizon:
+            base._horizon_hits.inc()
+            return ready
+        merged = base.path_busy(resources)
+        extras = [self._extra[r] for r in resources if r in self._extra]
+        if extras:
+            base._merge_work.inc(len(merged) + sum(len(e) for e in extras))
+            merged = merge_busy([merged] + extras)
         return find_gap(merged, ready, duration)
 
     def reserve(self, resource: Hashable, start: float, end: float) -> None:
         if end - start <= 0:
             return
-        self._extra.setdefault(resource, []).append((start, end))
+        insort(self._extra.setdefault(resource, []), (start, end))
+        if end > self._extra_horizon.get(resource, 0.0):
+            self._extra_horizon[resource] = end
 
     def reserve_on_path(self, resources: Iterable[Hashable], start: float, end: float) -> None:
         for resource in resources:
@@ -161,6 +318,9 @@ class TentativeOverlay:
 
         The snapshot survives :meth:`drop`, so a cached evaluation can
         replay exactly the reservations :meth:`commit` would have made.
+        Per-resource intervals come back time-sorted (the storage
+        order); they are mutually non-overlapping, so replay order is
+        immaterial to the resulting tables.
         """
         return {resource: tuple(intervals) for resource, intervals in self._extra.items()}
 
@@ -170,7 +330,9 @@ class TentativeOverlay:
             for start, end in intervals:
                 self._base.reserve(resource, start, end)
         self._extra.clear()
+        self._extra_horizon.clear()
 
     def drop(self) -> None:
         """Discard all tentative reservations (the paper's table restore)."""
         self._extra.clear()
+        self._extra_horizon.clear()

@@ -26,12 +26,23 @@ EPS = 1e-9
 
 
 class ScheduleTable:
-    """Sorted non-overlapping busy intervals on one resource."""
+    """Sorted non-overlapping busy intervals on one resource.
 
-    __slots__ = ("_busy",)
+    ``version`` counts content changes: every :meth:`reserve`,
+    :meth:`release` or :meth:`truncate_from` that actually alters the
+    busy list bumps it (no-ops — zero-duration reserves, empty
+    truncations — do not).  :meth:`copy` preserves the version, so
+    within any single :class:`~repro.schedule.overlay.ResourceTables`
+    lineage equal versions imply byte-identical busy lists — the
+    invariant the path-table cache invalidates on (see DESIGN.md,
+    "Path-table cache soundness").
+    """
+
+    __slots__ = ("_busy", "version")
 
     def __init__(self, busy: Iterable[Interval] = ()) -> None:
         self._busy: List[Interval] = sorted((float(s), float(e)) for s, e in busy)
+        self.version: int = 0
         self._check_sorted()
 
     def _check_sorted(self) -> None:
@@ -46,7 +57,24 @@ class ScheduleTable:
     # -- queries -----------------------------------------------------------
 
     def intervals(self) -> List[Interval]:
+        """A defensive copy of the busy list (safe to mutate/keep).
+
+        External/API callers get this; scheduler-internal read paths use
+        :meth:`busy_view` to avoid the per-query copy.
+        """
         return list(self._busy)
+
+    def busy_view(self) -> List[Interval]:
+        """Zero-copy read view of the busy list.
+
+        The returned list is the table's own storage: callers MUST treat
+        it as immutable and must not hold it across a mutation of this
+        table (``reserve``/``release``/``truncate_from`` invalidate it).
+        This is the hot read path — ``find_gap``/``merge_busy`` over
+        every link of a route per F(i,k) probe; copying here measurably
+        dominates the communication scheduler (see BENCH_commsched).
+        """
+        return self._busy
 
     def __len__(self) -> int:
         return len(self._busy)
@@ -83,6 +111,7 @@ class ScheduleTable:
         if not self.is_free(start, end):
             raise SchedulingError(f"reservation [{start}, {end}) conflicts with schedule table")
         insort(self._busy, (start, end))
+        self.version += 1
 
     def release(self, start: float, end: float) -> None:
         """Remove a previously made reservation (exact match required).
@@ -98,6 +127,7 @@ class ScheduleTable:
         if idx == len(self._busy) or self._busy[idx] != target:
             raise SchedulingError(f"no reservation [{start}, {end}) to release")
         del self._busy[idx]
+        self.version += 1
 
     def truncate_from(self, start: float) -> int:
         """Drop every interval beginning at or after ``start``.
@@ -116,11 +146,14 @@ class ScheduleTable:
             )
         dropped = len(self._busy) - idx
         del self._busy[idx:]
+        if dropped:
+            self.version += 1
         return dropped
 
     def copy(self) -> "ScheduleTable":
         clone = ScheduleTable.__new__(ScheduleTable)
         clone._busy = list(self._busy)
+        clone.version = self.version
         return clone
 
     def __repr__(self) -> str:

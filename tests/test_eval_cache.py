@@ -140,3 +140,80 @@ class TestCacheEffectiveness:
             == 0
         )
         capsys.readouterr()
+
+
+class TestPathCacheEquivalence:
+    """The path-table cache must be observationally invisible too.
+
+    Same contract as the F(i,k) cache above: over the whole corpus,
+    scheduling with the version-keyed path cache (default) and with the
+    literal re-merge-per-probe reference path (``use_path_cache=False``)
+    must be bit-identical in every output.
+    """
+
+    def test_cached_and_literal_schedules_identical(self):
+        def run(ctg, acg, use_path_cache):
+            ins = obs.Instrumentation.enabled()
+            with obs.activate(ins):
+                schedule = eas_schedule(
+                    ctg, acg, EASConfig(use_path_cache=use_path_cache)
+                )
+            return schedule, ins
+
+        hits = 0.0
+        horizon = 0.0
+        for ctg, acg in _corpus():
+            literal, literal_ins = run(ctg, acg, use_path_cache=False)
+            cached, cached_ins = run(ctg, acg, use_path_cache=True)
+            _assert_identical(literal, cached, ctg.name)
+            # The literal path must never touch the cache counters.
+            assert literal_ins.metrics.counter("comm.path_cache_hits").value == 0
+            assert literal_ins.metrics.counter("comm.horizon_fast_path").value == 0
+            # The cached path must do strictly less merge work.
+            assert (
+                cached_ins.metrics.counter("comm.merge_intervals").value
+                < literal_ins.metrics.counter("comm.merge_intervals").value
+            ), ctg.name
+            hits += cached_ins.metrics.counter("comm.path_cache_hits").value
+            horizon += cached_ins.metrics.counter("comm.horizon_fast_path").value
+        assert hits > 0, "corpus never hit the path-table cache"
+        assert horizon > 0, "corpus never took the horizon fast path"
+
+    def test_both_caches_off_still_identical(self):
+        # The two caches compose: all four on/off combinations must agree.
+        ctg = generate_category(2, 3, n_tasks=40)
+        acg = hetero_mesh(3, 3, shuffle_seed=203)
+        reference = None
+        for use_cache in (False, True):
+            for use_path_cache in (False, True):
+                schedule = eas_schedule(
+                    ctg,
+                    acg,
+                    EASConfig(use_cache=use_cache, use_path_cache=use_path_cache),
+                )
+                if reference is None:
+                    reference = schedule
+                else:
+                    _assert_identical(
+                        reference,
+                        schedule,
+                        f"cache={use_cache} pathcache={use_path_cache}",
+                    )
+
+    def test_cli_no_path_cache_flag(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "schedule",
+                    "--system",
+                    "random",
+                    "--n-tasks",
+                    "20",
+                    "--no-path-cache",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()

@@ -105,6 +105,44 @@ class TestEquivalenceCorpus:
                     exercised += 1
         assert exercised >= 5, "corpus too easy: repair barely ran"
 
+    def test_path_cache_matrix_bit_identical(self):
+        """All four (incremental × path cache) combinations agree.
+
+        The path-table cache threads through both repair engines
+        (incremental replays and literal full rebuilds); a soundness bug
+        in either combination shows up as a serialization diff here.
+        """
+        acg = mesh3x3()
+        exercised = 0
+        for category, index in [(1, 2), (1, 7), (2, 1), (2, 6)]:
+            ctg = tightened(category, index, factor=0.5)
+            base = eas_schedule(ctg, acg, EASConfig(repair=False))
+            outcomes = {}
+            for use_incremental in (False, True):
+                for use_path_cache in (False, True):
+                    repaired, report = search_and_repair(
+                        base,
+                        RepairConfig(
+                            use_incremental=use_incremental,
+                            use_path_cache=use_path_cache,
+                            max_rounds=3,
+                            max_migrations_per_round=48,
+                        ),
+                    )
+                    outcomes[(use_incremental, use_path_cache)] = (
+                        schedule_to_json(repaired),
+                        repr(report),
+                    )
+            reference = outcomes[(False, False)]
+            for combo, outcome in outcomes.items():
+                assert outcome == reference, (
+                    f"cat{category}-{index}: (incremental, pathcache)={combo} "
+                    "diverges from the literal/literal reference"
+                )
+            if "swaps=0/0, migrations=0/0" not in reference[1]:
+                exercised += 1
+        assert exercised >= 2, "corpus too easy: repair barely ran"
+
     def test_random_walk_probes_and_promotes(self):
         """Direct engine drive: random swaps/migrations, all selfchecked."""
         acg = mesh3x3()

@@ -1,6 +1,7 @@
 """Tests for committed resource tables and the tentative overlay."""
 
 
+from repro import obs
 from repro.arch.topology import Link
 from repro.schedule.overlay import ResourceTables
 
@@ -199,3 +200,140 @@ class TestFork:
         assert base.busy(0) == [(0, 1)]
         assert first.busy(0) == [(0, 1)]
         assert second.busy(0) == [(0, 1), (2, 3)]
+
+
+def _fresh(use_path_cache=True):
+    """(bundle, tables) with an isolated counter registry."""
+    bundle = obs.Instrumentation.disabled()
+    with obs.activate(bundle):
+        tables = ResourceTables(use_path_cache=use_path_cache)
+    return bundle, tables
+
+
+def _count(bundle, name):
+    return bundle.metrics.counter(name).value
+
+
+class TestPathCache:
+    def test_repeated_probe_hits(self):
+        bundle, tables = _fresh()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        tables.reserve(a, 0, 10)
+        tables.reserve(b, 5, 15)
+        overlay = tables.overlay()
+        first = overlay.find_earliest_on_path([a, b], 0, 5)
+        second = overlay.find_earliest_on_path([a, b], 0, 5)
+        assert first == second == 15
+        assert _count(bundle, "comm.path_cache_misses") == 1
+        assert _count(bundle, "comm.path_cache_hits") == 1
+
+    def test_commit_invalidates_by_version(self):
+        bundle, tables = _fresh()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        tables.reserve(a, 0, 10)
+        overlay = tables.overlay()
+        assert overlay.find_earliest_on_path([a, b], 0, 5) == 10
+        # Committing onto a member link bumps its version: the next
+        # probe must re-merge and see the new interval.
+        tables.reserve(a, 10, 20)
+        overlay = tables.overlay()
+        assert overlay.find_earliest_on_path([a, b], 0, 5) == 20
+        assert _count(bundle, "comm.path_cache_misses") == 2
+        assert _count(bundle, "comm.path_cache_hits") == 0
+
+    def test_release_and_truncate_invalidate(self):
+        _bundle, tables = _fresh()
+        a = Link((0, 0), (0, 1))
+        tables.reserve(a, 0, 10)
+        tables.reserve(a, 20, 30)
+        overlay = tables.overlay()
+        assert overlay.find_earliest_on_path([a], 0, 5) == 10
+        tables.release(a, 0, 10)
+        assert tables.overlay().find_earliest_on_path([a], 0, 5) == 0
+        tables.truncate_from(a, 20)
+        assert tables.overlay().find_earliest_on_path([a], 0, 50) == 0
+
+    def test_tentative_extras_merge_on_top_of_cache(self):
+        _bundle, tables = _fresh()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        tables.reserve(a, 0, 10)
+        overlay = tables.overlay()
+        overlay.reserve(b, 10, 20)
+        # Committed [0,10) on a + tentative [10,20) on b: the probe must
+        # see both even though only a's interval is in the cached merge.
+        assert overlay.find_earliest_on_path([a, b], 0, 5) == 20
+
+    def test_out_of_order_tentative_reserves_stay_sorted(self):
+        _bundle, tables = _fresh()
+        overlay = tables.overlay()
+        overlay.reserve("r", 30, 40)
+        overlay.reserve("r", 0, 10)
+        overlay.reserve("r", 15, 20)
+        # insort keeps the extras sorted, so find_gap's sorted-input
+        # contract holds and the 10-wide gap at 40 is found correctly.
+        assert overlay.find_earliest("r", 0, 5) == 10
+        assert overlay.find_earliest("r", 0, 11) == 40
+        assert overlay.reservations() == {"r": ((0, 10), (15, 20), (30, 40))}
+
+    def test_horizon_fast_path_counted_and_exact(self):
+        bundle, tables = _fresh()
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        tables.reserve(a, 0, 10)
+        overlay = tables.overlay()
+        overlay.reserve(b, 10, 20)
+        # ready beyond every visible horizon: returns ready, no merge.
+        assert overlay.find_earliest_on_path([a, b], 20, 5) == 20
+        assert overlay.find_earliest("r", 50, 5) == 50
+        assert _count(bundle, "comm.horizon_fast_path") == 2
+        assert _count(bundle, "comm.path_cache_misses") == 0
+        # ready just below the horizon takes the slow path and agrees.
+        assert overlay.find_earliest_on_path([a, b], 19, 5) == 20
+
+    def test_fork_lineages_are_independent(self):
+        bundle, tables = _fresh()
+        a = Link((0, 0), (0, 1))
+        tables.reserve(a, 0, 10)
+        tables.overlay().find_earliest_on_path([a], 0, 5)
+        clone = tables.fork()
+        # The clone inherits the warm entry: same versions, same tables.
+        assert clone.overlay().find_earliest_on_path([a], 0, 5) == 10
+        assert _count(bundle, "comm.path_cache_hits") == 1
+        # Divergence: the clone commits, the parent does not.  Each
+        # lineage must see exactly its own committed state.
+        clone.reserve(a, 10, 20)
+        assert clone.overlay().find_earliest_on_path([a], 0, 5) == 20
+        assert tables.overlay().find_earliest_on_path([a], 0, 5) == 10
+
+    def test_literal_mode_matches_cached_mode(self):
+        _b1, cached = _fresh(use_path_cache=True)
+        b2, literal = _fresh(use_path_cache=False)
+        a, b = Link((0, 0), (0, 1)), Link((0, 1), (0, 2))
+        for tables in (cached, literal):
+            tables.reserve(a, 0, 10)
+            tables.reserve(b, 12, 20)
+        for ready, duration in [(0, 2), (0, 5), (11, 1), (25, 3), (5, 0)]:
+            oc, ol = cached.overlay(), literal.overlay()
+            oc.reserve(a, 30, 35)
+            ol.reserve(a, 30, 35)
+            assert oc.find_earliest_on_path([a, b], ready, duration) == (
+                ol.find_earliest_on_path([a, b], ready, duration)
+            )
+        # Literal mode never touches the cache or the fast path.
+        assert _count(b2, "comm.path_cache_hits") == 0
+        assert _count(b2, "comm.path_cache_misses") == 0
+        assert _count(b2, "comm.horizon_fast_path") == 0
+
+    def test_busy_is_defensive_copy(self):
+        _bundle, tables = _fresh()
+        tables.reserve("r", 0, 10)
+        snapshot = tables.busy("r")
+        snapshot.append((99, 100))
+        assert tables.busy("r") == [(0, 10)]
+
+    def test_busy_view_tracks_storage(self):
+        _bundle, tables = _fresh()
+        tables.reserve("r", 0, 10)
+        view = tables.busy_view("r")
+        tables.reserve("r", 20, 30)
+        assert list(view) == [(0.0, 10.0), (20.0, 30.0)]
+        assert tables.busy_view("missing") == ()

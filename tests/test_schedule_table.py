@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.schedule.table import ScheduleTable, find_gap, merge_busy
+from repro.schedule.table import EPS, ScheduleTable, find_gap, merge_busy
 
 
 class TestReserve:
@@ -197,6 +197,131 @@ class TestTruncateFrom:
         table = ScheduleTable([(0, 10)])
         assert table.truncate_from(50) == 0
         assert table.intervals() == [(0, 10)]
+
+
+class TestEpsEdgeCases:
+    """find_gap / merge_busy behaviour right at the EPS tolerance."""
+
+    def test_duration_exactly_fills_gap(self):
+        # The gap [10, 20) is exactly 10 wide; `start - candidate >=
+        # duration - EPS` must accept it rather than skipping to 30.
+        busy = [(0.0, 10.0), (20.0, 30.0)]
+        assert find_gap(busy, 0.0, 10.0) == 10.0
+
+    def test_gap_short_by_less_than_eps_still_fits(self):
+        busy = [(0.0, 10.0), (20.0 - EPS / 2, 30.0)]
+        assert find_gap(busy, 0.0, 10.0) == 10.0
+
+    def test_gap_short_by_more_than_eps_skipped(self):
+        busy = [(0.0, 10.0), (19.0, 30.0)]
+        assert find_gap(busy, 0.0, 10.0) == 30.0
+
+    def test_ready_inside_interval_pushed_to_its_end(self):
+        assert find_gap([(0.0, 10.0)], 5.0, 2.0) == 10.0
+
+    def test_ready_exactly_at_interval_end(self):
+        # [start, end) is half-open: the slot opening at `end` is free.
+        assert find_gap([(0.0, 10.0)], 10.0, 5.0) == 10.0
+
+    def test_zero_duration_within_eps_returns_ready(self):
+        assert find_gap([(0.0, 10.0)], 5.0, EPS / 2) == 5.0
+
+    def test_empty_and_single_interval_lists(self):
+        assert find_gap([], 7.5, 3.0) == 7.5
+        assert find_gap([(10.0, 20.0)], 0.0, 10.0) == 0.0
+        assert find_gap([(10.0, 20.0)], 0.0, 11.0) == 20.0
+
+    def test_merge_touching_within_eps_coalesces(self):
+        merged = merge_busy([[(0.0, 10.0)], [(10.0 + EPS / 2, 20.0)]])
+        assert merged == [(0.0, 20.0)]
+
+    def test_merge_separated_by_more_than_eps_stays_split(self):
+        merged = merge_busy([[(0.0, 10.0)], [(10.0 + 2 * EPS, 20.0)]])
+        assert merged == [(0.0, 10.0), (10.0 + 2 * EPS, 20.0)]
+
+    def test_merge_single_list_still_coalesces_adjacent(self):
+        # The single-list fast path skips the sort, not the coalesce.
+        merged = merge_busy([[(0.0, 10.0), (10.0, 20.0), (30.0, 40.0)]])
+        assert merged == [(0.0, 20.0), (30.0, 40.0)]
+
+    def test_merge_never_aliases_its_input(self):
+        source = [(0.0, 10.0), (20.0, 30.0)]
+        merged = merge_busy([source])
+        assert merged == source
+        merged.append((99.0, 100.0))
+        assert source == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_merge_contained_interval_absorbed(self):
+        merged = merge_busy([[(0.0, 30.0)], [(5.0, 10.0)]])
+        assert merged == [(0.0, 30.0)]
+
+
+class TestVersionCounter:
+    """The path-table cache invalidates on `version`; only real content
+    changes may bump it, and every real content change must."""
+
+    def test_fresh_table_starts_at_zero(self):
+        assert ScheduleTable().version == 0
+        assert ScheduleTable([(0, 10)]).version == 0
+
+    def test_reserve_bumps(self):
+        table = ScheduleTable()
+        table.reserve(0, 10)
+        assert table.version == 1
+        table.reserve(20, 30)
+        assert table.version == 2
+
+    def test_zero_duration_reserve_is_version_noop(self):
+        table = ScheduleTable()
+        table.reserve(5, 5)
+        table.reserve(5, 5 + EPS / 2)
+        assert table.version == 0
+
+    def test_release_bumps(self):
+        table = ScheduleTable([(0, 10)])
+        table.release(0, 10)
+        assert table.version == 1
+
+    def test_zero_duration_release_is_version_noop(self):
+        table = ScheduleTable([(0, 10)])
+        table.release(3, 3)
+        assert table.version == 0
+
+    def test_truncate_bumps_only_when_it_drops(self):
+        table = ScheduleTable([(0, 10), (20, 30)])
+        assert table.truncate_from(50) == 0
+        assert table.version == 0
+        assert table.truncate_from(20) == 1
+        assert table.version == 1
+
+    def test_copy_preserves_version_then_diverges(self):
+        table = ScheduleTable([(0, 10)])
+        table.reserve(20, 30)
+        clone = table.copy()
+        assert clone.version == table.version == 1
+        clone.reserve(40, 50)
+        assert clone.version == 2
+        assert table.version == 1
+
+    def test_failed_reserve_is_version_noop(self):
+        table = ScheduleTable([(0, 10)])
+        with pytest.raises(SchedulingError):
+            table.reserve(5, 15)
+        assert table.version == 0
+
+
+class TestBusyView:
+    def test_view_is_storage_and_intervals_is_copy(self):
+        table = ScheduleTable([(0, 10)])
+        view = table.busy_view()
+        assert view == [(0.0, 10.0)]
+        table.reserve(20, 30)
+        # The view tracks the table (same object)...
+        assert view == [(0.0, 10.0), (20.0, 30.0)]
+        # ...while intervals() is detached.
+        copy = table.intervals()
+        table.reserve(40, 50)
+        assert copy == [(0.0, 10.0), (20.0, 30.0)]
 
 
 class TestMergeBusyRandomized:
