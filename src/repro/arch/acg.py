@@ -140,6 +140,16 @@ class ACG:
     def pes_of_type(self, type_name: str) -> List[PE]:
         return [pe for pe in self.pes if pe.type_name == type_name]
 
+    def pe_available(self, index: int) -> bool:
+        """Whether ``index`` may receive new work.
+
+        Always True on a healthy platform; the fault subsystem's
+        :class:`~repro.faults.degraded.DegradedACG` overrides this so the
+        schedulers and the repair engine skip dead PEs without knowing
+        about faults.
+        """
+        return True
+
     # -- route queries ----------------------------------------------------------
 
     def route(self, src: int, dst: int) -> Route:

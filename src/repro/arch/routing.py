@@ -96,18 +96,32 @@ class TorusXYRouting(RoutingAlgorithm):
 class ShortestPathRouting(RoutingAlgorithm):
     """Deterministic BFS shortest path for irregular topologies.
 
-    Ties are broken by coordinate order so the route per pair is unique
-    and stable — the determinism the scheduler's link tables require.
-    Used for the honeycomb, where dimension-ordered routing is undefined.
+    Tie-breaking rule (documented contract, relied on by the fault
+    masker's degraded-route selection): among all shortest paths, the one
+    returned is the path whose predecessor at every node is the
+    *lexicographically smallest* tile at the previous BFS distance.  Both
+    each BFS level and each node's neighbour list are expanded in sorted
+    coordinate order, so the route per pair is unique and stable across
+    Python versions and insertion orders — the determinism the
+    scheduler's link tables require.  Used for the honeycomb (where
+    dimension-ordered routing is undefined) and as the fault-aware
+    fallback around link cuts.
     """
 
     name = "shortest"
 
     def __init__(self) -> None:
-        self._cache: Dict[Tuple[int, Coord, Coord], List[Coord]] = {}
+        # The cache is keyed per topology *object*; a plain ``id()`` key
+        # could alias a garbage-collected topology with a new one at the
+        # same address, so hold the reference and reset on change.
+        self._topology: Topology = None  # type: ignore[assignment]
+        self._cache: Dict[Tuple[Coord, Coord], List[Coord]] = {}
 
     def route(self, topology: Topology, src: Coord, dst: Coord) -> List[Coord]:
-        key = (id(topology), src, dst)
+        if topology is not self._topology:
+            self._topology = topology
+            self._cache = {}
+        key = (src, dst)
         cached = self._cache.get(key)
         if cached is not None:
             return list(cached)
@@ -115,12 +129,14 @@ class ShortestPathRouting(RoutingAlgorithm):
             raise RoutingError(f"route endpoints {src}->{dst} not in topology")
         if src == dst:
             return [src]
-        # BFS with sorted neighbour expansion for determinism.
+        # BFS, expanding both each level and each neighbour list in
+        # sorted order: ties resolve to the lexicographically smallest
+        # predecessor (see class docstring).
         parent: Dict[Coord, Coord] = {src: src}
         frontier = [src]
         while frontier and dst not in parent:
             next_frontier: List[Coord] = []
-            for node in frontier:
+            for node in sorted(frontier):
                 for nb in sorted(topology.neighbors(node)):
                     if nb not in parent:
                         parent[nb] = node

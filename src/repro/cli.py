@@ -34,6 +34,7 @@ from repro.evalx.experiments import (
     run_random_category,
 )
 from repro.evalx.reporting import format_figure, format_table
+from repro.faults.plan import FAULT_KINDS
 from repro.obs.heartbeat import Heartbeat, resolve_interval
 from repro.obs.ledger import RunLedger, resolve_ledger_path
 from repro.parallel.pool import resolve_jobs
@@ -376,6 +377,97 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=_handle_diff)
 
+    p = sub.add_parser(
+        "validate",
+        help="validate a saved schedule: structural consistency plus "
+        "flit-level transaction-abstraction replay; one-line PASS/FAIL",
+    )
+    p.add_argument("schedule", help="schedule JSON (from `schedule --save` or `faults inject --save`)")
+    _add_benchmark_arguments(p)
+    p.add_argument(
+        "--slack-hops-factor",
+        type=float,
+        default=4.0,
+        help="allowed flit-level lateness per hop, in cycle times "
+        "(the transaction-abstraction slack bound)",
+    )
+    p.set_defaults(handler=_handle_validate)
+
+    # Fault injection & degraded-mode recovery.  A two-level command:
+    # observability flags live on the *nested* parsers only — argparse
+    # re-applies a nested subparser's defaults after the parent parses,
+    # so duplicating the flags on both levels would clobber parent-
+    # parsed values with nested defaults.
+    p = sub.add_parser(
+        "faults",
+        help="fault injection & degraded-mode recovery "
+        "(see `faults inject` / `faults sweep`)",
+    )
+    p.set_defaults(handler=_handle_faults_help, faults_parser=p, ledger="off")
+    fsub = p.add_subparsers(dest="faults_command")
+
+    fp = fsub.add_parser(
+        "inject",
+        help="inject one fault plan into a committed schedule and "
+        "recover: salvage the completed prefix, reschedule survivors "
+        "over the degraded platform, report exact deltas",
+    )
+    _add_benchmark_arguments(fp)
+    fp.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="fault-plan JSON to inject (default: generate one from "
+        "--fault-seed/--kind against the committed makespan)",
+    )
+    fp.add_argument("--fault-seed", type=int, default=0, help="plan-generation seed")
+    fp.add_argument(
+        "--kind",
+        default="pe",
+        choices=list(FAULT_KINDS),
+        help="generated fault kind (ignored with --plan)",
+    )
+    fp.add_argument(
+        "--simulate",
+        action="store_true",
+        help="confirm the recovery's post-fault transactions at flit "
+        "level (wormhole replay under the plan's transient windows)",
+    )
+    fp.add_argument("--save", metavar="FILE", help="write the recovery schedule as JSON")
+    fp.add_argument("--save-plan", metavar="FILE", help="write the injected plan as JSON")
+    fp.set_defaults(handler=_handle_faults_inject)
+    _add_observability_arguments(fp)
+
+    fp = fsub.add_parser(
+        "sweep",
+        help="seeded Monte Carlo fault campaign: schedule once, inject "
+        "N plans (pe/link/transient round-robin), report survivability",
+    )
+    _add_benchmark_arguments(fp)
+    fp.add_argument("--plans", type=int, default=20, help="number of fault plans")
+    fp.add_argument("--fault-seed", type=int, default=0, help="campaign seed")
+    fp.add_argument(
+        "--kinds",
+        default=",".join(FAULT_KINDS),
+        help="comma-separated fault kinds to rotate through",
+    )
+    fp.add_argument(
+        "--format", default="text", choices=["text", "json"], help="output rendering"
+    )
+    fp.add_argument(
+        "--out", metavar="FILE", default="-", help="output path ('-' = stdout, the default)"
+    )
+    fp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: REPRO_JOBS env, else 1 = serial "
+        "reference path; negative = all CPUs)",
+    )
+    fp.set_defaults(handler=_handle_faults_sweep)
+    _add_observability_arguments(fp)
+
     # Parallel execution, on the subcommands that run whole grids (the
     # evalx figures/tables) or repair portfolios (schedule).
     for name in ("fig5", "fig6", "table1", "table2", "table3", "schedule", "diff"):
@@ -398,62 +490,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "schedule wins; runs across --jobs workers (eas/eas-base only)",
     )
 
-    # Observability flags, available on every subcommand.
-    for subparser in sub.choices.values():
-        group = subparser.add_argument_group("observability")
-        group.add_argument(
-            "--trace",
-            metavar="FILE",
-            default=None,
-            help="write a JSONL trace (spans, events, decisions, counters)",
-        )
-        group.add_argument(
-            "--profile",
-            action="store_true",
-            help="print a phase-timing + counter summary to stderr",
-        )
-        group.add_argument(
-            "--no-eval-cache",
-            action="store_true",
-            help="run EAS with the naive per-iteration F(i,k) recompute "
-            "(the reference path) instead of the incremental evaluation "
-            "cache — for A/B comparisons",
-        )
-        group.add_argument(
-            "--no-incremental-repair",
-            action="store_true",
-            help="evaluate every Step-3 repair candidate with a full "
-            "rebuild (the paper-literal reference path) instead of the "
-            "incremental dirty-cone replay engine — for A/B comparisons",
-        )
-        group.add_argument(
-            "--no-path-cache",
-            action="store_true",
-            help="re-merge every route's link busy lists per Fig. 3 probe "
-            "(the literal reference path) instead of serving probes from "
-            "the version-keyed path-table cache with the horizon fast "
-            "path — for A/B comparisons; schedules are bit-identical",
-        )
-        group.add_argument(
-            "--ledger",
-            metavar="FILE",
-            default=None,
-            help="append this run's lifecycle to a JSONL run ledger "
-            "(default: REPRO_LEDGER env, else RUN_LEDGER.jsonl in the "
-            "repository root; 'off' disables)",
-        )
-        group.add_argument(
-            "--heartbeat",
-            type=float,
-            metavar="SECS",
-            default=None,
-            help="emit a one-line stderr progress heartbeat (cells "
-            "done/total, ETA, current phase) every SECS seconds, with a "
-            "stall watchdog; also recorded in the run ledger "
-            "(default: REPRO_HEARTBEAT env, else off)",
-        )
+    # Observability flags, available on every subcommand.  ``faults`` is
+    # skipped: its nested subparsers carry the flags themselves (see the
+    # defaults-clobbering note at its definition).
+    for name, subparser in sub.choices.items():
+        if name == "faults":
+            continue
+        _add_observability_arguments(subparser)
 
     return parser
+
+
+def _add_observability_arguments(subparser) -> None:
+    group = subparser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace (spans, events, decisions, counters)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a phase-timing + counter summary to stderr",
+    )
+    group.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="run EAS with the naive per-iteration F(i,k) recompute "
+        "(the reference path) instead of the incremental evaluation "
+        "cache — for A/B comparisons",
+    )
+    group.add_argument(
+        "--no-incremental-repair",
+        action="store_true",
+        help="evaluate every Step-3 repair candidate with a full "
+        "rebuild (the paper-literal reference path) instead of the "
+        "incremental dirty-cone replay engine — for A/B comparisons",
+    )
+    group.add_argument(
+        "--no-path-cache",
+        action="store_true",
+        help="re-merge every route's link busy lists per Fig. 3 probe "
+        "(the literal reference path) instead of serving probes from "
+        "the version-keyed path-table cache with the horizon fast "
+        "path — for A/B comparisons; schedules are bit-identical",
+    )
+    group.add_argument(
+        "--ledger",
+        metavar="FILE",
+        default=None,
+        help="append this run's lifecycle to a JSONL run ledger "
+        "(default: REPRO_LEDGER env, else RUN_LEDGER.jsonl in the "
+        "repository root; 'off' disables)",
+    )
+    group.add_argument(
+        "--heartbeat",
+        type=float,
+        metavar="SECS",
+        default=None,
+        help="emit a one-line stderr progress heartbeat (cells "
+        "done/total, ETA, current phase) every SECS seconds, with a "
+        "stall watchdog; also recorded in the run ledger "
+        "(default: REPRO_HEARTBEAT env, else off)",
+    )
 
 
 def _eas_config(args) -> EASConfig:
@@ -998,6 +1098,149 @@ def _handle_diff(args) -> int:
         args,
         payload,
         f"diff: {len(diff.moves)} moves, {len(diff.root_causes())} root-cause",
+    )
+
+
+def _handle_validate(args) -> int:
+    from repro.errors import ScheduleValidationError, SerializationError
+    from repro.schedule.serialization import schedule_from_json
+    from repro.sim.wormhole import validate_transaction_abstraction
+
+    ctg, acg = _build_benchmark(args)
+    try:
+        with open(args.schedule) as handle:
+            schedule = schedule_from_json(handle.read(), ctg, acg)
+    except OSError as exc:
+        print(f"validate: FAIL: cannot read {args.schedule}: {exc}")
+        return 1
+    except SerializationError as exc:
+        print(f"validate: FAIL: {exc}")
+        return 1
+    try:
+        schedule.validate_consistency()
+        validate_transaction_abstraction(
+            schedule, slack_hops_factor=args.slack_hops_factor
+        )
+    except (ScheduleValidationError, SchedulingError) as exc:
+        print(f"validate: FAIL: {exc}")
+        return 1
+    print(
+        f"validate: PASS: {args.schedule} ({schedule.ctg.n_tasks} tasks, "
+        f"{len(schedule.comm_placements)} transactions, flit-level delivery confirmed)"
+    )
+    return 0
+
+
+def _benchmark_spec(args):
+    """The picklable recipe matching ``_build_benchmark``'s flags."""
+    from repro.parallel.spec import MSB_SYSTEMS, BenchmarkSpec
+
+    if args.system == "random":
+        return BenchmarkSpec(
+            kind="random",
+            acg_preset="mesh_4x4",
+            shuffle_seed=100 + args.index,
+            category=args.category,
+            index=args.index,
+            n_tasks=args.n_tasks,
+        )
+    return BenchmarkSpec(
+        kind="msb",
+        acg_preset=MSB_SYSTEMS[args.system][1],
+        system=args.system,
+        clip=args.clip,
+    )
+
+
+def _handle_faults_help(args) -> int:
+    args.faults_parser.print_help()
+    return 2
+
+
+def _handle_faults_inject(args) -> int:
+    from repro.errors import SerializationError
+    from repro.faults.plan import FaultPlan, generate_fault_plans
+    from repro.faults.recovery import inject_and_recover
+    from repro.schedule.serialization import schedule_to_json
+    from repro.sim.wormhole import validate_transaction_abstraction
+
+    ctg, acg = _build_benchmark(args)
+    committed = _run_selected_scheduler(args, ctg, acg, report_dvs=False)
+    committed.validate_structure()
+    try:
+        if args.plan:
+            with open(args.plan) as handle:
+                plan = FaultPlan.from_json(handle.read())
+        else:
+            plan = generate_fault_plans(
+                acg,
+                1,
+                seed=args.fault_seed,
+                horizon=committed.makespan(),
+                kinds=(args.kind,),
+            )[0]
+        result = inject_and_recover(committed, plan, _eas_config(args))
+    except OSError as exc:
+        print(f"repro-noc: error: cannot read {args.plan}: {exc}", file=sys.stderr)
+        return 1
+    except SerializationError as exc:
+        print(f"repro-noc: error: {exc}", file=sys.stderr)
+        return 1
+    print(result.describe())
+    deltas = result.utilization_deltas()
+    print(
+        "utilization: peak PE {:+.3f}, peak link {:+.3f}, "
+        "contention wait {:+.1f}".format(
+            deltas["peak_pe_utilization"],
+            deltas["peak_link_utilization"],
+            deltas["contention_wait"],
+        )
+    )
+    if args.simulate:
+        validate_transaction_abstraction(
+            result.recovery,
+            link_faults=plan.transient_windows(),
+            min_start=result.fault_time,
+        )
+        print("simulate : post-fault flit-level delivery confirmed")
+    if args.save_plan:
+        with open(args.save_plan, "w") as handle:
+            handle.write(plan.to_json())
+        print(f"fault plan written to {args.save_plan}")
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(schedule_to_json(result.recovery))
+        print(f"recovery schedule written to {args.save}")
+    return 0
+
+
+def _handle_faults_sweep(args) -> int:
+    import json as _json
+
+    from repro.faults.sweep import run_fault_sweep
+
+    kinds = tuple(kind.strip() for kind in args.kinds.split(",") if kind.strip())
+    try:
+        report = run_fault_sweep(
+            _benchmark_spec(args),
+            scheduler=args.algorithm,
+            eas_config=_eas_config(args),
+            n_plans=args.plans,
+            seed=args.fault_seed,
+            kinds=kinds,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        print(f"repro-noc: error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        payload = _json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n"
+    else:
+        payload = report.format_text() + "\n"
+    return _write_payload(
+        args,
+        payload,
+        f"fault sweep: {report.survived}/{report.n_plans} survived",
     )
 
 

@@ -57,6 +57,7 @@ def schedule_incoming_transactions(
     placements: Mapping[str, TaskPlacement],
     overlay: TentativeOverlay,
     contention_aware: bool = True,
+    floor: float = 0.0,
 ) -> Tuple[float, List[CommPlacement]]:
     """Schedule the LCT of ``task`` assuming it runs on ``dst_pe``.
 
@@ -75,6 +76,10 @@ def schedule_incoming_transactions(
             (the fixed-delay model the paper's introduction criticises).
             Used only by the contention ablation; the resulting
             placements may overlap on links.
+        floor: earliest time any transaction may start.  Degraded-mode
+            recovery passes the fault time so nothing new is scheduled in
+            the already-elapsed past; 0.0 (the default) is a no-op
+            because all times are non-negative.
 
     Returns:
         ``(drt, comm_placements)`` — the data ready time (0.0 for source
@@ -104,17 +109,18 @@ def schedule_incoming_transactions(
         sender = placements[edge.src]
         route = acg.route(sender.pe, dst_pe)
         duration = acg.comm_duration(edge.volume, sender.pe, dst_pe)
+        ready = max(sender.finish, floor)
         if route.is_local or duration == 0.0:
             # Same tile or zero volume: no links held, data available at
-            # the moment the sender finishes.
-            start = finish = sender.finish
+            # the moment the sender finishes (or the floor, if later).
+            start = finish = ready
             local_transfers.inc()
         elif not contention_aware:
             # Fixed-delay model: transfer time only, no link arbitration.
-            start = sender.finish
+            start = ready
             finish = start + duration
         else:
-            start = overlay.find_earliest_on_path(route.links, sender.finish, duration)
+            start = overlay.find_earliest_on_path(route.links, ready, duration)
             finish = start + duration
             overlay.reserve_on_path(route.links, start, finish)
             link_probes.inc()

@@ -54,7 +54,7 @@ from repro.core.comm import schedule_incoming_transactions
 from repro.obs.decisions import Candidate, TaskDecision
 from repro.core.slack import TaskBudget, WeightPolicy, compute_budgets, weight_var_product
 from repro.ctg.graph import CTG
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, UnroutableError
 from repro.schedule.entries import CommPlacement, TaskPlacement
 from repro.schedule.overlay import ResourceTables
 from repro.schedule.schedule import Schedule
@@ -196,7 +196,17 @@ class _SelectionOutcome:
 
 
 class LevelBasedScheduler:
-    """Step 2 of EAS: energy-aware list scheduling steered by budgets."""
+    """Step 2 of EAS: energy-aware list scheduling steered by budgets.
+
+    The three optional arguments exist for degraded-mode recovery
+    (``repro.faults.recovery``), which re-runs Step 2 over the *surviving*
+    tasks of a committed schedule: ``preplaced`` seeds already-final
+    placements (their tasks are never re-scheduled, but their outputs
+    feed transactions), ``tables`` supplies resource tables pre-loaded
+    with the salvaged reservations, and ``floor`` forbids any new work
+    before the fault time.  All three default to the healthy-platform
+    behaviour.
+    """
 
     def __init__(
         self,
@@ -207,6 +217,9 @@ class LevelBasedScheduler:
         contention_aware: bool = True,
         use_cache: bool = True,
         use_path_cache: bool = True,
+        preplaced: Optional[Mapping[str, TaskPlacement]] = None,
+        tables: Optional[ResourceTables] = None,
+        floor: float = 0.0,
     ) -> None:
         self.ctg = ctg
         self.acg = acg
@@ -214,8 +227,13 @@ class LevelBasedScheduler:
         self.algorithm_name = algorithm_name
         self.contention_aware = contention_aware
         self.use_cache = use_cache
-        self._tables = ResourceTables(use_path_cache=use_path_cache)
-        self._placements: Dict[str, TaskPlacement] = {}
+        self.floor = floor
+        self._tables = (
+            tables if tables is not None else ResourceTables(use_path_cache=use_path_cache)
+        )
+        self._placements: Dict[str, TaskPlacement] = (
+            dict(preplaced) if preplaced else {}
+        )
         #: clean F(i,k) evaluations carried across RTL iterations.
         self._cache: Dict[Tuple[str, int], _Evaluation] = {}
         #: per-task feasible PE indices (static: depends on types only).
@@ -230,34 +248,47 @@ class LevelBasedScheduler:
     # -- F(i,k) evaluation --------------------------------------------------
 
     def _pes_for(self, task_name: str) -> List[int]:
-        """PE indices whose type can run ``task_name`` (static per task)."""
+        """Available PE indices whose type can run ``task_name``."""
         pes = self._feasible_pes.get(task_name)
         if pes is None:
             task = self.ctg.task(task_name)
             pes = [
-                pe.index for pe in self.acg.pes if task.cost_on(pe.type_name).feasible
+                pe.index
+                for pe in self.acg.pes
+                if self.acg.pe_available(pe.index) and task.cost_on(pe.type_name).feasible
             ]
             self._feasible_pes[task_name] = pes
         return pes
 
     def _evaluate(self, task_name: str, pe_index: int) -> Optional[_Evaluation]:
-        """Compute ``F(i,k)``; ``None`` when the PE type is infeasible."""
+        """Compute ``F(i,k)``; ``None`` when the PE is unusable.
+
+        A PE can be unusable because its type cannot run the task, or —
+        on a fault-degraded platform — because a partition leaves no
+        route from some already-placed sender (``UnroutableError``); both
+        simply remove the candidate.
+        """
         task = self.ctg.task(task_name)
         pe = self.acg.pe(pe_index)
         cost = task.cost_on(pe.type_name)
         if not cost.feasible:
             return None
         overlay = self._tables.overlay()
-        drt, comms = schedule_incoming_transactions(
-            self.ctg,
-            self.acg,
-            task_name,
-            pe_index,
-            self._placements,
-            overlay,
-            contention_aware=self.contention_aware,
-        )
-        start = overlay.find_earliest(pe_index, drt, cost.time)
+        try:
+            drt, comms = schedule_incoming_transactions(
+                self.ctg,
+                self.acg,
+                task_name,
+                pe_index,
+                self._placements,
+                overlay,
+                contention_aware=self.contention_aware,
+                floor=self.floor,
+            )
+        except UnroutableError:
+            overlay.drop()
+            return None
+        start = overlay.find_earliest(pe_index, max(drt, self.floor), cost.time)
         footprint = overlay.probed_resources()
         reservations = overlay.reservations()
         overlay.drop()  # the paper's table restore
@@ -314,8 +345,9 @@ class LevelBasedScheduler:
                 self._placements,
                 overlay,
                 contention_aware=self.contention_aware,
+                floor=self.floor,
             )
-            start = overlay.find_earliest(pe_index, drt, cost.time)
+            start = overlay.find_earliest(pe_index, max(drt, self.floor), cost.time)
             overlay.commit()
         self._tables.reserve(pe_index, start, start + cost.time)
         placement = TaskPlacement(
@@ -423,8 +455,13 @@ class LevelBasedScheduler:
     def run(self) -> Schedule:
         """Schedule every task; returns a structurally valid schedule."""
         schedule = Schedule(self.ctg, self.acg, algorithm=self.algorithm_name)
+        # Preplaced tasks count as done: they never enter the RTL and
+        # their successors only wait for the remaining predecessors.
+        done = set(self._placements)
         remaining_preds: Dict[str, int] = {
-            name: self.ctg.in_degree(name) for name in self.ctg.task_names()
+            name: sum(1 for p in self.ctg.predecessors(name) if p not in done)
+            for name in self.ctg.task_names()
+            if name not in done
         }
         ready = sorted(name for name, n in remaining_preds.items() if n == 0)
 
@@ -512,6 +549,8 @@ class LevelBasedScheduler:
                 # newly ready successors in order (no per-iteration sort).
                 del ready[bisect_left(ready, chosen_task)]
                 for succ in self.ctg.successors(chosen_task):
+                    if succ not in remaining_preds:
+                        continue  # preplaced successor (recovery resurrect)
                     remaining_preds[succ] -= 1
                     if remaining_preds[succ] == 0:
                         insort(ready, succ)

@@ -193,14 +193,20 @@ def _probe(
     pe_index: int,
     placements: Dict[str, TaskPlacement],
     tables: ResourceTables,
+    floor: float = 0.0,
 ) -> Tuple[float, float]:
-    """Tentative (start, finish) of placing ``task_name`` now."""
+    """Tentative (start, finish) of placing ``task_name`` now.
+
+    ``floor`` bounds both the transactions and the execution start from
+    below; degraded-mode recovery rebuilds pass the fault time so the
+    salvaged past stays untouched.
+    """
     cost = _cost(ctg, acg, task_name, pe_index)
     overlay = tables.overlay()
     drt, _comms = schedule_incoming_transactions(
-        ctg, acg, task_name, pe_index, placements, overlay
+        ctg, acg, task_name, pe_index, placements, overlay, floor=floor
     )
-    start = overlay.find_earliest(pe_index, drt, cost.time)
+    start = overlay.find_earliest(pe_index, max(drt, floor), cost.time)
     overlay.drop()
     return start, start + cost.time
 
@@ -213,13 +219,14 @@ def _commit(
     placements: Dict[str, TaskPlacement],
     tables: ResourceTables,
     schedule: Schedule,
+    floor: float = 0.0,
 ) -> Tuple[TaskPlacement, List[CommPlacement]]:
     cost = _cost(ctg, acg, task_name, pe_index)
     overlay = tables.overlay()
     drt, comms = schedule_incoming_transactions(
-        ctg, acg, task_name, pe_index, placements, overlay
+        ctg, acg, task_name, pe_index, placements, overlay, floor=floor
     )
-    start = overlay.find_earliest(pe_index, drt, cost.time)
+    start = overlay.find_earliest(pe_index, max(drt, floor), cost.time)
     overlay.commit()
     tables.reserve(pe_index, start, start + cost.time)
     placement = TaskPlacement(

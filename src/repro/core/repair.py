@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.core.comm import incoming_comm_energy, outgoing_comm_energy
 from repro.core.increbuild import IncrementalRebuilder
 from repro.core.rebuild import rebuild_schedule
-from repro.errors import InfeasibleOrderError
+from repro.errors import InfeasibleOrderError, RoutingError
 from repro.schedule.schedule import Schedule
 
 MissMetric = Tuple[int, float]
@@ -64,6 +64,16 @@ class RepairConfig:
     #: rebuild (byte-comparing serializations).  Slow; used by the
     #: equivalence harness in ``tests/test_increbuild.py``.
     selfcheck: bool = False
+    #: tasks no move may touch: they are never swapped, never migrated
+    #: and never used as a swap partner.  Degraded-mode recovery freezes
+    #: the salvaged pre-fault prefix this way; empty on a normal repair.
+    frozen: FrozenSet[str] = frozenset()
+    #: custom candidate evaluator ``(mapping, orders) -> Schedule | None``
+    #: replacing the built-in rebuild engines (``None`` = rejected move).
+    #: Degraded-mode recovery supplies one that rebuilds over the
+    #: degraded platform with the salvaged prefix pre-seeded; normal
+    #: repairs leave it None.
+    rebuilder: Optional[Callable[[Dict[str, int], Dict[int, List[str]]], Optional[Schedule]]] = None
 
 
 @dataclass
@@ -137,7 +147,8 @@ class _MoveEvaluator:
     ) -> None:
         self._engine: Optional[IncrementalRebuilder] = None
         self._use_path_cache = cfg.use_path_cache
-        if cfg.use_incremental:
+        self._rebuilder = cfg.rebuilder
+        if cfg.use_incremental and cfg.rebuilder is None:
             self._engine = IncrementalRebuilder(
                 schedule.ctg,
                 schedule.acg,
@@ -156,6 +167,8 @@ class _MoveEvaluator:
         orders: Dict[int, List[str]],
         metric: MissMetric,
     ) -> Optional[Schedule]:
+        if self._rebuilder is not None:
+            return self._rebuilder(mapping, orders)
         if self._engine is None:
             return _try_rebuild(
                 schedule, mapping, orders, use_path_cache=self._use_path_cache
@@ -212,7 +225,7 @@ def search_and_repair(
             report.rounds += 1
             round_counter.inc()
             current, mapping, orders, metric, lts_improved = _lts_pass(
-                current, mapping, orders, metric, report, evaluator, rng
+                current, mapping, orders, metric, report, cfg, evaluator, rng
             )
             if metric[0] == 0:
                 break
@@ -423,16 +436,20 @@ def _lts_pass(
     orders: Dict[int, List[str]],
     metric: MissMetric,
     report: RepairReport,
+    cfg: RepairConfig,
     evaluator: _MoveEvaluator,
     rng: Optional[random.Random] = None,
 ) -> Tuple[Schedule, Dict[str, int], Dict[int, List[str]], MissMetric, bool]:
     """One LTS sweep: try to pull every critical task earlier on its PE."""
     improved_any = False
+    frozen = cfg.frozen
     progress = True
     while progress and metric[0] > 0:
         progress = False
         critical = critical_tasks(schedule)
         for task in _jittered(_criticality_order(schedule, critical), rng):
+            if task in frozen:
+                continue
             pe = mapping[task]
             order = orders[pe]
             idx = order.index(task)
@@ -440,7 +457,7 @@ def _lts_pass(
             # nearest first (smallest perturbation first).
             for j in range(idx - 1, -1, -1):
                 other = order[j]
-                if other in critical:
+                if other in critical or other in frozen:
                     continue
                 report.swaps_tried += 1
                 candidate_order = list(order)
@@ -505,7 +522,11 @@ def _gtm_pass(
        that usually causes the miss (our addition; the paper does not
        specify behaviour when the energy-ordered search fails).
     """
-    critical = _jittered(_criticality_order(schedule, critical_tasks(schedule)), rng)
+    critical = [
+        task
+        for task in _jittered(_criticality_order(schedule, critical_tasks(schedule)), rng)
+        if task not in cfg.frozen
+    ]
 
     energy_sweep = (
         (task, dest_pe)
@@ -598,6 +619,8 @@ def _load_relief_candidates(
     for task in ranked_tasks:
         task_obj = ctg.task(task)
         for dest_pe in dest_order:
+            if not acg.pe_available(dest_pe):
+                continue
             if task_obj.cost_on(acg.pe(dest_pe).type_name).feasible:
                 yield task, dest_pe
 
@@ -616,14 +639,21 @@ def _destinations_by_energy(
     task_obj = ctg.task(task)
     ranked: List[Tuple[float, int]] = []
     for pe in acg.pes:
+        if not acg.pe_available(pe.index):
+            continue
         cost = task_obj.cost_on(pe.type_name)
         if not cost.feasible:
             continue
-        energy = (
-            cost.energy
-            + incoming_comm_energy(ctg, acg, task, pe.index, mapping)
-            + outgoing_comm_energy(ctg, acg, task, pe.index, mapping)
-        )
+        try:
+            energy = (
+                cost.energy
+                + incoming_comm_energy(ctg, acg, task, pe.index, mapping)
+                + outgoing_comm_energy(ctg, acg, task, pe.index, mapping)
+            )
+        except RoutingError:
+            # Degraded platform: a partition leaves no route between this
+            # PE and a mapped neighbour — the migration cannot be built.
+            continue
         ranked.append((energy, pe.index))
     ranked.sort()
     return [pe_index for _energy, pe_index in ranked]

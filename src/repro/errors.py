@@ -23,6 +23,16 @@ class RoutingError(ArchitectureError):
     """No route exists between two tiles under the selected routing."""
 
 
+class UnroutableError(RoutingError):
+    """A fault partition leaves no surviving route between two tiles.
+
+    Raised by the fault-aware routing fallback when every path between a
+    live pair of tiles crosses a dead router or a cut link — the clean
+    signal the recovery engine turns into an *unsurvivable* verdict
+    instead of a traceback.
+    """
+
+
 class SchedulingError(ReproError):
     """The scheduler could not produce a feasible schedule."""
 

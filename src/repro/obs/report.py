@@ -63,6 +63,7 @@ def build_report(
         "slow_cells": [],
         "runs": {"total": 0, "finished": 0, "failed": 0, "open": 0},
         "caches": [],
+        "survivability": None,
         "ledger_bytes": 0,
         "ledger_warning": None,
         "run_delta": None,
@@ -79,6 +80,7 @@ def build_report(
         report["slow_cells"] = _slow_cells(records, limit)
         report["runs"] = _run_stats(records, exclude_run_id)
         report["caches"] = _cache_rates(records)
+        report["survivability"] = _survivability(records)
         report["run_delta"] = _last_run_delta(records, exclude_run_id)
         report["ledger_bytes"] = ledger_size_bytes(ledger_path)
         if report["ledger_bytes"] > LEDGER_WARN_BYTES:
@@ -174,6 +176,44 @@ def _slow_cells(records: List[Dict[str, Any]], limit: int) -> List[Dict[str, Any
     ]
     cells.sort(key=lambda cell: -cell["runtime_seconds"])
     return cells[:limit]
+
+
+def _survivability(records: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Aggregate of every ``fault_plan`` record the ledger holds.
+
+    The ``repro-noc faults`` commands flight-record one ``phase`` record
+    per injected plan; this folds them into the survivability headline:
+    recovered / survived counts, the per-kind breakdown and the mean
+    recovery energy delta.  ``None`` when no campaign ever ran.
+    """
+    rows = [
+        record
+        for record in records
+        if record.get("type") == "phase" and record.get("name") == "fault_plan"
+    ]
+    if not rows:
+        return None
+    survived = sum(1 for row in rows if row.get("survived"))
+    by_kind: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        bucket = by_kind.setdefault(
+            row.get("kind", "?"), {"plans": 0, "survived": 0}
+        )
+        bucket["plans"] += 1
+        bucket["survived"] += 1 if row.get("survived") else 0
+    deltas = [
+        row["energy_delta"]
+        for row in rows
+        if row.get("recovered") and isinstance(row.get("energy_delta"), (int, float))
+    ]
+    return {
+        "plans": len(rows),
+        "recovered": sum(1 for row in rows if row.get("recovered")),
+        "survived": survived,
+        "survived_fraction": round(survived / len(rows), 4),
+        "mean_energy_delta": round(sum(deltas) / len(deltas), 6) if deltas else None,
+        "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+    }
 
 
 def _last_run_delta(
@@ -324,6 +364,21 @@ def _format_text(report: Dict[str, Any]) -> str:
                 f"misses {misses:<10} rate {rate}"
             )
 
+    surv = report.get("survivability")
+    if surv:
+        lines.append("== fault survivability ==")
+        mean = surv["mean_energy_delta"]
+        mean_txt = "-" if mean is None else f"{mean:+.3f} nJ"
+        lines.append(
+            f"  {surv['plans']} plans injected: {surv['recovered']} recovered, "
+            f"{surv['survived']} survived ({surv['survived_fraction']:.0%}); "
+            f"mean recovery energy delta {mean_txt}"
+        )
+        for kind, bucket in surv["by_kind"].items():
+            lines.append(
+                f"  {kind:<9s} survived {bucket['survived']}/{bucket['plans']}"
+            )
+
     lines.append("== recent failures ==")
     if report["failures"]:
         for failure in report["failures"]:
@@ -410,6 +465,19 @@ def _format_markdown(report: Dict[str, Any]) -> str:
             rate = "-" if row["hit_rate_pct"] is None else f"{row['hit_rate_pct']:.1f}%"
             misses = "-" if row["misses"] is None else str(row["misses"])
             lines.append(f"| {row['cache']} | {row['hits']} | {misses} | {rate} |")
+    surv = report.get("survivability")
+    if surv:
+        lines += ["", "## Fault survivability", ""]
+        mean = surv["mean_energy_delta"]
+        mean_txt = "-" if mean is None else f"{mean:+.3f} nJ"
+        lines.append(
+            f"{surv['plans']} plans injected — {surv['recovered']} recovered, "
+            f"{surv['survived']} survived ({surv['survived_fraction']:.0%}), "
+            f"mean recovery energy delta {mean_txt}."
+        )
+        lines += ["", "| kind | plans | survived |", "|---|---|---|"]
+        for kind, bucket in surv["by_kind"].items():
+            lines.append(f"| {kind} | {bucket['plans']} | {bucket['survived']} |")
     lines += ["", "## Recent failures", ""]
     if report["failures"]:
         for failure in report["failures"]:

@@ -186,6 +186,22 @@ class Schedule:
         self._validate_dependencies()
         self._validate_against_acg()
 
+    def validate_consistency(self) -> None:
+        """Completeness plus PE and link exclusivity only.
+
+        The subset of :meth:`validate_structure` that holds for *any*
+        well-formed schedule regardless of which platform view produced
+        its routes.  Degraded-mode recovery schedules mix pre-fault
+        transactions (routed on the healthy ACG) with post-fault ones
+        (routed around the faults), so the route-table comparison of
+        ``_validate_against_acg`` does not apply to them as a whole;
+        this check still does, and ``repro.faults.recovery`` adds the
+        regime-split dependency and route checks on top.
+        """
+        self._validate_completeness()
+        self._validate_pe_exclusivity()
+        self._validate_link_exclusivity()
+
     def _validate_completeness(self) -> None:
         for name in self.ctg.task_names():
             if name not in self.task_placements:

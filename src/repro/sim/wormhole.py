@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.arch.acg import ACG
@@ -51,13 +51,21 @@ class WormholeError(ReproError):
 
 @dataclass(frozen=True)
 class PacketSpec:
-    """One packet to inject: a CTG transaction at flit granularity."""
+    """One packet to inject: a CTG transaction at flit granularity.
+
+    ``links`` optionally pins the packet to a recorded route (the links a
+    schedule actually reserved); when ``None`` the simulator asks the
+    ACG's routing, which is the healthy-platform behaviour.  Recovery
+    schedules mix healthy and degraded routes, so their validation must
+    replay the recorded links rather than re-route.
+    """
 
     name: str
     src_pe: int
     dst_pe: int
     volume_bits: float
     inject_time: float
+    links: Optional[Tuple[Link, ...]] = None
 
     def __post_init__(self) -> None:
         if self.volume_bits <= 0:
@@ -172,23 +180,48 @@ def simulate_wormhole(
     acg: ACG,
     packets: Sequence[PacketSpec],
     config: Optional[WormholeConfig] = None,
+    link_faults: Optional[Mapping[Link, Sequence[Tuple[float, float]]]] = None,
 ) -> WormholeReport:
     """Run the flit-level simulation until every packet is delivered.
 
     Local packets (``src_pe == dst_pe``) are rejected — they never enter
     the network at the transaction level either.
+
+    ``link_faults`` maps directed links to ``(start, end)`` *time*
+    windows (``end`` may be ``math.inf`` for a permanent fault) during
+    which no flit crosses the link: worms holding the channel stall in
+    place (their buffers back-pressure upstream as usual) and resume
+    when the window closes.  A worm stuck behind a permanent fault never
+    drains, which surfaces as the :class:`WormholeError` cycle-bound —
+    the "flagged" outcome transient validation looks for.
     """
     cfg = config or WormholeConfig()
     cycle_time = cfg.flit_size_bits / acg.link_bandwidth
 
+    # Convert fault windows to half-open cycle ranges once, conservatively
+    # widened to whole cycles.
+    fault_cycles: Dict[Link, Tuple[Tuple[int, float], ...]] = {}
+    for link, windows in (link_faults or {}).items():
+        ranges = []
+        for win_start, win_end in windows:
+            if win_end <= win_start:
+                continue
+            first = int(math.floor(win_start / cycle_time))
+            last = math.inf if math.isinf(win_end) else int(math.ceil(win_end / cycle_time))
+            ranges.append((first, last))
+        if ranges:
+            fault_cycles[link] = tuple(ranges)
+
     states: List[_PacketState] = []
     for spec in packets:
-        route = acg.route(spec.src_pe, spec.dst_pe)
-        if route.is_local:
+        links = spec.links
+        if links is None:
+            links = acg.route(spec.src_pe, spec.dst_pe).links
+        if not links:
             raise WormholeError(f"packet {spec.name!r} is local; nothing to simulate")
         n_flits = max(1, math.ceil(spec.volume_bits / cfg.flit_size_bits))
         inject_cycle = math.ceil(spec.inject_time / cycle_time)
-        states.append(_PacketState(spec, route.links, n_flits, inject_cycle))
+        states.append(_PacketState(spec, links, n_flits, inject_cycle))
 
     # Deterministic global arbitration order: earlier injection wins,
     # then name.  Fixed for the whole run (FIFO-like fairness).
@@ -211,7 +244,7 @@ def simulate_wormhole(
             for state in states:
                 if state.done or cycle < state.inject_cycle:
                     continue
-                _advance(state, owner, link_busy, cfg, cycle)
+                _advance(state, owner, link_busy, cfg, cycle, fault_cycles)
                 if state.done:
                     remaining -= 1
             cycle += 1
@@ -237,13 +270,16 @@ def _advance(
     link_busy: Dict[Link, int],
     cfg: WormholeConfig,
     cycle: int,
+    fault_cycles: Optional[Dict[Link, Tuple[Tuple[int, float], ...]]] = None,
 ) -> None:
     """Move this packet's flits one link at most, downstream first.
 
     Iterating links from the last to the first guarantees a flit crosses
     at most one link per cycle, and processing downstream stages first
     frees buffer space for upstream flits within the same cycle — the
-    standard synchronous-pipeline update order.
+    standard synchronous-pipeline update order.  A link inside one of its
+    ``fault_cycles`` ranges transfers nothing this cycle: the flit stalls
+    where it is and channel ownership is neither acquired nor released.
     """
     links = state.links
     k = len(links)
@@ -254,6 +290,10 @@ def _advance(
         if state.crossed[i] >= state.n_flits:
             continue
         link = links[i]
+        if fault_cycles:
+            ranges = fault_cycles.get(link)
+            if ranges and any(first <= cycle < last for first, last in ranges):
+                continue  # link down this cycle: flit stalls in place
         current = owner.get(link)
         if current is None:
             # Wormhole acquisition: the head flit grabs the channel.
@@ -279,12 +319,17 @@ def _advance(
                 state.delivered_cycle = cycle + 1
 
 
-def packets_from_schedule(schedule: Schedule) -> List[PacketSpec]:
+def packets_from_schedule(schedule: Schedule, min_start: float = 0.0) -> List[PacketSpec]:
     """Extract the network packets of a schedule (non-local transactions),
-    injected at their transaction start times."""
+    injected at their transaction start times on their *recorded* routes.
+
+    ``min_start`` drops transactions starting earlier — degraded-mode
+    validation replays only the post-fault regime this way.  Local and
+    zero-volume transactions never enter the network and are skipped.
+    """
     packets = []
     for (src, dst), comm in sorted(schedule.comm_placements.items()):
-        if comm.is_local or comm.volume <= 0:
+        if comm.is_local or comm.volume <= 0 or comm.start < min_start:
             continue
         packets.append(
             PacketSpec(
@@ -293,6 +338,7 @@ def packets_from_schedule(schedule: Schedule) -> List[PacketSpec]:
                 dst_pe=comm.dst_pe,
                 volume_bits=comm.volume,
                 inject_time=comm.start,
+                links=comm.links,
             )
         )
     return packets
@@ -302,6 +348,8 @@ def validate_transaction_abstraction(
     schedule: Schedule,
     config: Optional[WormholeConfig] = None,
     slack_hops_factor: float = 4.0,
+    link_faults: Optional[Mapping[Link, Sequence[Tuple[float, float]]]] = None,
+    min_start: float = 0.0,
 ) -> WormholeReport:
     """Check the transaction-level model against flit-level execution.
 
@@ -313,19 +361,24 @@ def validate_transaction_abstraction(
     with the next reservation on shared links; ``slack_hops_factor``
     scales it.
 
+    ``link_faults`` injects transient link-down windows into the
+    simulation (see :func:`simulate_wormhole`); ``min_start`` restricts
+    the replay to transactions starting at or after that time.  Both are
+    how fault recovery confirms delivery under transients.
+
     Raises:
         SchedulingError: a packet arrived later than the abstraction
             promised — the schedule is NOT conservative at flit level.
     """
     cfg = config or WormholeConfig()
-    packets = packets_from_schedule(schedule)
+    packets = packets_from_schedule(schedule, min_start=min_start)
     if not packets:
         return WormholeReport(
             cycle_time=cfg.flit_size_bits / schedule.acg.link_bandwidth, cycles_run=0
         )
-    report = simulate_wormhole(schedule.acg, packets, cfg)
+    report = simulate_wormhole(schedule.acg, packets, cfg, link_faults=link_faults)
     for (src, dst), comm in schedule.comm_placements.items():
-        if comm.is_local or comm.volume <= 0:
+        if comm.is_local or comm.volume <= 0 or comm.start < min_start:
             continue
         name = f"{src}->{dst}"
         delivered = report.delivery_time(name)

@@ -121,3 +121,77 @@ class TestRegistry:
         assert isinstance(
             default_routing_for(HoneycombTopology(2, 2)), ShortestPathRouting
         )
+
+
+class TestShortestPathTieBreaking:
+    """Regression: shortest-path ties resolve lexicographically (documented)."""
+
+    def test_lexicographic_predecessors_on_mesh(self):
+        # (0,0) -> (2,2) on a 3x3 mesh has six shortest paths; the
+        # contract picks the one whose predecessor at every node is the
+        # lexicographically smallest tile at the previous BFS distance.
+        mesh = Mesh2D(3, 3)
+        path = ShortestPathRouting().route(mesh, (0, 0), (2, 2))
+        assert path == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+    def test_tie_break_is_stable_across_instances(self):
+        routing_a, routing_b = ShortestPathRouting(), ShortestPathRouting()
+        mesh = Mesh2D(4, 4)
+        for src in mesh.coords():
+            for dst in mesh.coords():
+                assert routing_a.route(mesh, src, dst) == routing_b.route(mesh, src, dst)
+
+    def test_cache_keyed_by_topology_instance(self):
+        # The same (src, dst) pair on a different topology object must
+        # never be served from a stale cache entry.
+        routing = ShortestPathRouting()
+        mesh_path = routing.route(Mesh2D(3, 3), (0, 0), (2, 2))
+        torus_path = routing.route(Torus2D(3, 3), (0, 0), (2, 2))
+        assert len(mesh_path) == 5
+        assert len(torus_path) == 3  # wraps both dimensions
+
+    def test_repeated_queries_hit_cache_consistently(self):
+        mesh = Mesh2D(3, 3)
+        routing = ShortestPathRouting()
+        first = routing.route(mesh, (0, 0), (2, 2))
+        assert routing.route(mesh, (0, 0), (2, 2)) == first
+
+
+class TestTorusWraparound:
+    def test_wraps_backward_when_strictly_shorter(self):
+        torus = Torus2D(4, 4)
+        path = TorusXYRouting().route(torus, (0, 0), (0, 3))
+        assert path == [(0, 0), (0, 3)]
+
+    def test_tie_goes_forward(self):
+        # Distance 2 either way around a 4-ring: the documented tie rule
+        # steps in the +1 direction.
+        torus = Torus2D(4, 4)
+        path = TorusXYRouting().route(torus, (0, 0), (0, 2))
+        assert path == [(0, 0), (0, 1), (0, 2)]
+
+    def test_row_wrap_after_columns(self):
+        torus = Torus2D(4, 4)
+        path = TorusXYRouting().route(torus, (0, 0), (3, 3))
+        # Column-first: wrap to column 3, then wrap to row 3.
+        assert path == [(0, 0), (0, 3), (3, 3)]
+
+
+class TestYXEdgeRows:
+    def test_row_first_from_corner(self):
+        mesh = Mesh2D(4, 4)
+        path = YXRouting().route(mesh, (0, 0), (3, 3))
+        assert path[1] == (1, 0)
+        assert path[-2] == (3, 2)
+
+    def test_edge_row_straight_line_matches_xy(self):
+        mesh = Mesh2D(4, 4)
+        xy = XYRouting().route(mesh, (0, 0), (0, 3))
+        yx = YXRouting().route(mesh, (0, 0), (0, 3))
+        assert xy == yx == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_edge_column_straight_line_matches_xy(self):
+        mesh = Mesh2D(4, 4)
+        xy = XYRouting().route(mesh, (3, 0), (0, 0))
+        yx = YXRouting().route(mesh, (3, 0), (0, 0))
+        assert xy == yx

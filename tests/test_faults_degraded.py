@@ -1,0 +1,160 @@
+"""Tests for the fault-masked topology, routing fallback, and degraded ACG."""
+
+import pytest
+
+from repro.arch.acg import ACG
+from repro.arch.presets import mesh_3x3
+from repro.arch.routing import XYRouting
+from repro.arch.topology import Mesh2D
+from repro.errors import ArchitectureError, RoutingError, UnroutableError
+from repro.faults.degraded import DegradedACG, DegradedTopology, FaultAwareRouting
+from repro.faults.plan import FaultPlan, LinkFault, PEFault, TransientFault
+
+
+class TestDegradedTopology:
+    def test_dead_tile_disappears_with_its_links(self):
+        degraded = DegradedTopology(Mesh2D(3, 3), dead_tiles=[(1, 1)])
+        assert not degraded.has_tile((1, 1))
+        assert (1, 1) not in degraded.neighbors((0, 1))
+        assert (1, 1) not in degraded.neighbors((1, 0))
+
+    def test_cut_channel_removed_both_directions(self):
+        degraded = DegradedTopology(Mesh2D(3, 3), cut_channels=[((0, 0), (0, 1))])
+        assert (0, 1) not in degraded.neighbors((0, 0))
+        assert (0, 0) not in degraded.neighbors((0, 1))
+        # The tiles themselves survive.
+        assert degraded.has_tile((0, 0)) and degraded.has_tile((0, 1))
+
+    def test_unknown_dead_tile_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DegradedTopology(Mesh2D(2, 2), dead_tiles=[(9, 9)])
+
+    def test_unknown_cut_channel_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DegradedTopology(Mesh2D(2, 2), cut_channels=[((0, 0), (9, 9))])
+
+    def test_alive_path(self):
+        degraded = DegradedTopology(Mesh2D(3, 3), cut_channels=[((0, 1), (0, 2))])
+        assert degraded.alive_path([(0, 0), (0, 1), (1, 1)])
+        assert not degraded.alive_path([(0, 0), (0, 1), (0, 2)])
+        assert not degraded.alive_path([(9, 9)])
+
+
+class TestFaultAwareRouting:
+    def test_intact_base_path_is_kept(self):
+        base = Mesh2D(3, 3)
+        degraded = DegradedTopology(base, cut_channels=[((2, 0), (2, 1))])
+        routing = FaultAwareRouting(XYRouting())
+        # XY (0,0)->(1,2) never touches the cut channel: path unchanged.
+        assert routing.route(degraded, (0, 0), (1, 2)) == XYRouting().route(
+            base, (0, 0), (1, 2)
+        )
+
+    def test_falls_back_around_a_cut(self):
+        base = Mesh2D(3, 3)
+        degraded = DegradedTopology(base, cut_channels=[((0, 1), (0, 2))])
+        routing = FaultAwareRouting(XYRouting())
+        # XY would go (0,0)-(0,1)-(0,2): the cut forces a detour.
+        path = routing.route(degraded, (0, 0), (0, 2))
+        assert path[0] == (0, 0) and path[-1] == (0, 2)
+        assert degraded.alive_path(path)
+        assert ((0, 1), (0, 2)) not in set(zip(path, path[1:]))
+
+    def test_detour_is_deterministic(self):
+        degraded = DegradedTopology(Mesh2D(3, 3), cut_channels=[((0, 1), (0, 2))])
+        routing = FaultAwareRouting(XYRouting())
+        assert routing.route(degraded, (0, 0), (0, 2)) == routing.route(
+            degraded, (0, 0), (0, 2)
+        )
+
+    def test_partition_raises_unroutable(self):
+        # Cutting the only channel of a 1x3 row strands (0,2).
+        degraded = DegradedTopology(Mesh2D(1, 3), cut_channels=[((0, 1), (0, 2))])
+        routing = FaultAwareRouting(XYRouting())
+        with pytest.raises(UnroutableError):
+            routing.route(degraded, (0, 0), (0, 2))
+
+    def test_dead_endpoint_raises_unroutable(self):
+        degraded = DegradedTopology(Mesh2D(2, 2), dead_tiles=[(1, 1)])
+        routing = FaultAwareRouting(XYRouting())
+        with pytest.raises(UnroutableError):
+            routing.route(degraded, (0, 0), (1, 1))
+
+    def test_requires_degraded_topology(self):
+        with pytest.raises(RoutingError):
+            FaultAwareRouting(XYRouting()).route(Mesh2D(2, 2), (0, 0), (1, 1))
+
+    def test_unroutable_is_a_routing_error(self):
+        assert issubclass(UnroutableError, RoutingError)
+
+
+class TestDegradedACG:
+    def _plan_pe(self, pe, time=1.0):
+        return FaultPlan(name="p", pe_faults=(PEFault(pe=pe, time=time),))
+
+    def test_pe_availability(self):
+        base = mesh_3x3()
+        degraded = DegradedACG(base, self._plan_pe(4))
+        assert not degraded.pe_available(4)
+        assert degraded.pe_available(0)
+        # The healthy base answers True for everyone.
+        assert base.pe_available(4)
+
+    def test_indices_and_types_preserved(self):
+        base = mesh_3x3()
+        degraded = DegradedACG(base, self._plan_pe(4))
+        assert degraded.n_pes == base.n_pes
+        for pe in degraded.pes:
+            assert pe.type_name == base.pe(pe.index).type_name
+            assert pe.position == base.pe(pe.index).position
+
+    def test_route_to_dead_pe_raises(self):
+        degraded = DegradedACG(mesh_3x3(), self._plan_pe(4))
+        with pytest.raises(UnroutableError):
+            degraded.route(0, 4)
+        with pytest.raises(UnroutableError):
+            degraded.comm_energy(100.0, 4, 0)
+
+    def test_routes_avoid_dead_router(self):
+        degraded = DegradedACG(mesh_3x3(), self._plan_pe(4))
+        dead_tile = degraded.base_acg.pe(4).position
+        for (src, dst), route in degraded._routes.items():
+            for link in route.links:
+                assert dead_tile not in (link.src, link.dst)
+
+    def test_link_cut_forces_detour_energy(self):
+        base = mesh_3x3()
+        healthy = base.route(0, 1)
+        channel = (healthy.links[0].src, healthy.links[0].dst)
+        plan = FaultPlan(
+            name="cut", link_faults=(LinkFault(src=channel[0], dst=channel[1], time=1.0),)
+        )
+        degraded = DegradedACG(base, plan)
+        detour = degraded.route(0, 1)
+        assert detour.n_hops > healthy.n_hops
+        assert degraded.energy_per_bit(0, 1) > base.energy_per_bit(0, 1)
+
+    def test_transient_plan_leaves_routes_intact(self):
+        base = mesh_3x3()
+        plan = FaultPlan(
+            name="t",
+            transient_faults=(TransientFault((0, 0), (0, 1), 1.0, 2.0),),
+        )
+        degraded = DegradedACG(base, plan)
+        for src in range(base.n_pes):
+            for dst in range(base.n_pes):
+                assert degraded.route(src, dst).links == base.route(src, dst).links
+
+    def test_partitioned_pair_raises_with_reason(self):
+        acg = ACG(Mesh2D(1, 3), pe_types=["risc"] * 3, link_bandwidth=64.0)
+        plan = FaultPlan(
+            name="split", link_faults=(LinkFault((0, 1), (0, 2), 1.0),)
+        )
+        degraded = DegradedACG(acg, plan)
+        with pytest.raises(UnroutableError):
+            degraded.route(0, 2)
+        assert degraded.route(0, 1).n_hops == 2
+
+    def test_describe_mentions_damage(self):
+        degraded = DegradedACG(mesh_3x3(), self._plan_pe(4))
+        assert "dead PEs: [4]" in degraded.describe()

@@ -206,3 +206,118 @@ class TestConfig:
         spec = PacketSpec("p", 0, 3, volume_bits=64 * 1000, inject_time=0)
         with pytest.raises(WormholeError):
             simulate_wormhole(acg, [spec], WormholeConfig(max_cycles=10))
+
+
+class TestPacketsFromScheduleEdgeCases:
+    def _schedule_with_zero_byte_and_same_pe_edges(self):
+        from repro.ctg.graph import CTG
+        from repro.ctg.task import CommEdge
+        from tests.conftest import uniform_task
+
+        ctg = CTG()
+        for name in ("a", "b", "c"):
+            ctg.add_task(uniform_task(name, 10, 1))
+        # a->b pure control dependency (zero bytes), a->c real data.
+        ctg.add_edge(CommEdge("a", "b", volume=0.0))
+        ctg.add_edge(CommEdge("a", "c", volume=256.0))
+        return eas_base_schedule(ctg, mesh_2x2())
+
+    def test_zero_byte_edges_produce_no_packets(self):
+        schedule = self._schedule_with_zero_byte_and_same_pe_edges()
+        packets = packets_from_schedule(schedule)
+        assert all(p.volume_bits > 0 for p in packets)
+        names = {p.name for p in packets}
+        assert "a->b" not in names
+
+    def test_same_pe_producer_consumer_skipped(self):
+        from repro.ctg.graph import CTG
+        from repro.ctg.task import CommEdge
+        from tests.conftest import uniform_task
+
+        # One feasible PE forces producer and consumer onto the same
+        # tile: the transaction is local, so no packet may be created.
+        ctg = CTG()
+        ctg.add_task(uniform_task("p", 5, 1, pe_types=("risc",)))
+        ctg.add_task(uniform_task("q", 5, 1, pe_types=("risc",)))
+        ctg.add_edge(CommEdge("p", "q", volume=512.0))
+        acg = ACG(Mesh2D(1, 2), pe_types=["risc", "arm"], link_bandwidth=64.0)
+        schedule = eas_base_schedule(ctg, acg)
+        assert packets_from_schedule(schedule) == []
+
+    def test_min_start_filters_pre_fault_transactions(self):
+        ctg = av_encoder_ctg("foreman")
+        schedule = eas_base_schedule(ctg, mesh_2x2())
+        moving = sorted(
+            c.start
+            for c in schedule.comm_placements.values()
+            if not c.is_local and c.volume > 0
+        )
+        assert len(moving) >= 2, "fixture needs network traffic"
+        cutoff = moving[len(moving) // 2]
+        packets = packets_from_schedule(schedule, min_start=cutoff)
+        assert len(packets) == sum(1 for start in moving if start >= cutoff)
+        assert all(p.inject_time >= cutoff for p in packets)
+
+    def test_recorded_links_override_routing(self):
+        # A spec carrying explicit links must be simulated on them, not
+        # on whatever the ACG's routing would pick today.
+        from repro.arch.topology import Link
+
+        acg = row_acg()
+        detour = (Link((0, 0), (0, 1)), Link((0, 1), (0, 2)), Link((0, 2), (0, 3)))
+        spec = PacketSpec("p", 0, 3, volume_bits=64, inject_time=0, links=detour)
+        report = simulate_wormhole(acg, [spec])
+        assert report.packets["p"].hops == 3
+
+
+class TestLinkFaultInjection:
+    def test_transient_window_stalls_delivery(self):
+        from repro.arch.topology import Link
+
+        acg = row_acg()  # cycle_time = 1.0
+        spec = PacketSpec("p", 0, 1, volume_bits=64, inject_time=0)
+        baseline = simulate_wormhole(acg, [spec]).packets["p"].delivered_cycle
+        faulted = simulate_wormhole(
+            acg, [spec], link_faults={Link((0, 0), (0, 1)): [(0.0, 5.0)]}
+        ).packets["p"].delivered_cycle
+        # Blocked for cycles 0..4, first hop happens in cycle 5.
+        assert faulted == baseline + 5
+
+    def test_window_on_other_link_is_harmless(self):
+        from repro.arch.topology import Link
+
+        acg = row_acg()
+        spec = PacketSpec("p", 0, 1, volume_bits=64, inject_time=0)
+        clean = simulate_wormhole(acg, [spec]).packets["p"].delivered_cycle
+        faulted = simulate_wormhole(
+            acg, [spec], link_faults={Link((0, 2), (0, 3)): [(0.0, 100.0)]}
+        ).packets["p"].delivered_cycle
+        assert faulted == clean
+
+    def test_permanent_fault_hits_cycle_bound(self):
+        import math as _math
+
+        from repro.arch.topology import Link
+
+        acg = row_acg()
+        spec = PacketSpec("p", 0, 1, volume_bits=64, inject_time=0)
+        with pytest.raises(WormholeError):
+            simulate_wormhole(
+                acg,
+                [spec],
+                WormholeConfig(max_cycles=200),
+                link_faults={Link((0, 0), (0, 1)): [(0.0, _math.inf)]},
+            )
+
+    def test_validation_replays_under_faults_and_min_start(self):
+        ctg = generate_ctg(GeneratorConfig(n_tasks=30, seed=11, level_width=4.0))
+        acg = mesh_3x3()
+        schedule = eas_base_schedule(ctg, acg)
+        cutoff = schedule.makespan() * 0.5
+        report = validate_transaction_abstraction(schedule, min_start=cutoff)
+        expected = sum(
+            1
+            for c in schedule.comm_placements.values()
+            if not c.is_local and c.volume > 0 and c.start >= cutoff
+        )
+        assert len(report.packets) == expected
